@@ -1,0 +1,207 @@
+package psn_test
+
+// One benchmark per paper figure (F01-F15), per analytic experiment
+// (A1, A2) and per ablation (AB1-AB4), each regenerating the figure's
+// data end to end on reduced parameters, plus micro-benchmarks for the
+// core substrates. The per-figure benchmarks exercise exactly the code
+// the psn-figures binary runs at paper scale.
+
+import (
+	"io"
+	"testing"
+
+	psn "repro"
+	"repro/internal/analytic"
+	"repro/internal/dtnsim"
+	"repro/internal/figures"
+	"repro/internal/forward"
+	"repro/internal/pathenum"
+	"repro/internal/stgraph"
+	"repro/internal/tracegen"
+)
+
+// benchParams keeps per-figure benchmarks at tens-of-milliseconds to
+// seconds each; psn-figures runs the same drivers at paper scale.
+func benchParams() figures.Params {
+	return figures.Params{
+		Messages: 6,
+		K:        100,
+		SimRuns:  1,
+		MsgRate:  0.05,
+		Seed:     1,
+		Datasets: []tracegen.Dataset{tracegen.Infocom0912, tracegen.Conext0912},
+	}
+}
+
+func benchFigure(b *testing.B, id string) {
+	b.Helper()
+	f, ok := figures.Lookup(id)
+	if !ok {
+		b.Fatalf("unknown figure %s", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h := figures.NewHarness(benchParams())
+		if err := h.RenderOne(f, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure01ContactTimeSeries(b *testing.B)   { benchFigure(b, "F01") }
+func BenchmarkFigure04aOptimalDurationCDF(b *testing.B) { benchFigure(b, "F04a") }
+func BenchmarkFigure04bExplosionCDF(b *testing.B)       { benchFigure(b, "F04b") }
+func BenchmarkFigure05ScatterT1TE(b *testing.B)         { benchFigure(b, "F05") }
+func BenchmarkFigure06PathGrowth(b *testing.B)          { benchFigure(b, "F06") }
+func BenchmarkFigure07ContactCountCDF(b *testing.B)     { benchFigure(b, "F07") }
+func BenchmarkFigure08PairTypeScatter(b *testing.B)     { benchFigure(b, "F08") }
+func BenchmarkFigure09DelayVsSuccess(b *testing.B)      { benchFigure(b, "F09") }
+func BenchmarkFigure10DelayDistributions(b *testing.B)  { benchFigure(b, "F10") }
+func BenchmarkFigure11ReceptionTimes(b *testing.B)      { benchFigure(b, "F11") }
+func BenchmarkFigure12AlgorithmPaths(b *testing.B)      { benchFigure(b, "F12") }
+func BenchmarkFigure13PairTypePerformance(b *testing.B) { benchFigure(b, "F13") }
+func BenchmarkFigure14HopRates(b *testing.B)            { benchFigure(b, "F14") }
+func BenchmarkFigure15RateRatios(b *testing.B)          { benchFigure(b, "F15") }
+
+func BenchmarkAnalyticModelValidation(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := figures.ComputeA1(figures.A1Params{
+			N: 300, Lambda: 0.5, TMax: 6, MCRuns: 2, Samples: 4,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSubsetExplosion(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := figures.ComputeA2(48, 0.05, 600, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationDeltaSensitivity(b *testing.B) { benchFigure(b, "AB1") }
+func BenchmarkAblationKSensitivity(b *testing.B)     { benchFigure(b, "AB2") }
+func BenchmarkAblationCopySemantics(b *testing.B)    { benchFigure(b, "AB3") }
+func BenchmarkAblationHomogeneousTrace(b *testing.B) { benchFigure(b, "AB4") }
+
+// Micro-benchmarks for the substrates.
+
+func BenchmarkTraceGeneration(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := tracegen.Generate(tracegen.Conext0912); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSpaceTimeGraphBuild(b *testing.B) {
+	tr := tracegen.MustGenerate(tracegen.Conext0912)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := stgraph.New(tr, stgraph.DefaultDelta); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEnumerateDevTrace(b *testing.B) {
+	tr := tracegen.Dev(1)
+	enum, err := pathenum.NewEnumerator(tr, pathenum.Options{K: 200})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := enum.Enumerate(pathenum.Message{Src: 0, Dst: 17, Start: 0}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEnumerateConferenceMessage(b *testing.B) {
+	tr := tracegen.MustGenerate(tracegen.Conext0912)
+	enum, err := pathenum.NewEnumerator(tr, pathenum.Options{K: 2000})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := enum.Enumerate(pathenum.Message{Src: 25, Dst: 60, Start: 600}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulateEpidemic(b *testing.B) {
+	tr := tracegen.MustGenerate(tracegen.Conext0912)
+	msgs := dtnsim.Workload(tr, 0.25, tr.Horizon*2/3, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dtnsim.Run(dtnsim.Config{Trace: tr, Algorithm: forward.Epidemic{}, Messages: msgs}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulateMEED(b *testing.B) {
+	tr := tracegen.MustGenerate(tracegen.Conext0912)
+	msgs := dtnsim.Workload(tr, 0.25, tr.Horizon*2/3, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dtnsim.Run(dtnsim.Config{Trace: tr, Algorithm: forward.DynamicProgramming{}, Messages: msgs}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMEEDDistances(b *testing.B) {
+	tr := tracegen.MustGenerate(tracegen.Conext0912)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		forward.MEEDDistances(tr)
+	}
+}
+
+func BenchmarkODESolve(b *testing.B) {
+	u0 := analytic.SourceInitial(1000, 100)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := analytic.SolveODE(u0, analytic.ODEConfig{
+			Lambda: 0.5, K: 100, Step: 0.01, TMax: 10, Snapshots: 6,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkJumpProcess(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := analytic.SimulateJump(analytic.JumpConfig{
+			N: 1000, Lambda: 0.5, TMax: 8, Snapshots: 4, MaxState: 1 << 20, Seed: int64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWorkloadGeneration(b *testing.B) {
+	tr := psn.DevTrace(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dtnsim.Workload(tr, 0.25, tr.Horizon, int64(i))
+	}
+}

@@ -1,0 +1,94 @@
+// Command psn-gen generates synthetic pocket-switched-network contact
+// traces and writes them in the text interchange format.
+//
+// Usage:
+//
+//	psn-gen -dataset infocom-9-12 > trace.txt
+//	psn-gen -nodes 50 -horizon 3600 -maxrate 0.04 -seed 7 > trace.txt
+//	psn-gen -waypoint -nodes 30 -horizon 1800 > trace.txt
+//	psn-gen -dataset conext-9-12 -stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	psn "repro"
+	"repro/internal/stats"
+	"repro/internal/tracegen"
+)
+
+var datasetNames = map[string]psn.Dataset{
+	"infocom-9-12": psn.Infocom0912,
+	"infocom-3-6":  psn.Infocom0336,
+	"conext-9-12":  psn.Conext0912,
+	"conext-3-6":   psn.Conext0336,
+}
+
+func main() {
+	var (
+		dataset   = flag.String("dataset", "", "named dataset: infocom-9-12, infocom-3-6, conext-9-12, conext-3-6")
+		nodes     = flag.Int("nodes", 98, "number of nodes (custom generator)")
+		station   = flag.Int("stationary", 20, "stationary nodes (custom generator)")
+		horizon   = flag.Float64("horizon", 10800, "trace length in seconds")
+		maxRate   = flag.Float64("maxrate", 0.046, "max per-node contact rate (contacts/s)")
+		meanDur   = flag.Float64("meandur", 25, "mean contact duration (s)")
+		scan      = flag.Float64("scan", 0, "inquiry-scan quantization interval (s, 0 = off)")
+		seed      = flag.Int64("seed", 1, "generator seed")
+		waypoint  = flag.Bool("waypoint", false, "use the random-waypoint mobility generator")
+		showStats = flag.Bool("stats", false, "print summary statistics instead of the trace")
+	)
+	flag.Parse()
+
+	tr, err := generate(*dataset, *waypoint, *nodes, *station, *horizon, *maxRate, *meanDur, *scan, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "psn-gen:", err)
+		os.Exit(1)
+	}
+	if *showStats {
+		printStats(tr)
+		return
+	}
+	if err := psn.WriteTrace(os.Stdout, tr); err != nil {
+		fmt.Fprintln(os.Stderr, "psn-gen:", err)
+		os.Exit(1)
+	}
+}
+
+func generate(dataset string, waypoint bool, nodes, station int, horizon, maxRate, meanDur, scan float64, seed int64) (*psn.Trace, error) {
+	if dataset != "" {
+		d, ok := datasetNames[dataset]
+		if !ok {
+			return nil, fmt.Errorf("unknown dataset %q", dataset)
+		}
+		return psn.GenerateDataset(d)
+	}
+	if waypoint {
+		return psn.GenerateWaypoint(psn.WaypointConfig{
+			Name: "waypoint", NumNodes: nodes, Horizon: horizon,
+			Width: 200, Height: 150, Range: 10,
+			MinSpeed: 0.5, MaxSpeed: 2, MaxPause: 60, Seed: seed,
+		})
+	}
+	return psn.GenerateConference(tracegen.Config{
+		Name: "custom", NumNodes: nodes, Stationary: station,
+		Horizon: horizon, MaxRate: maxRate,
+		MeanDuration: meanDur, MinDuration: 5, ScanInterval: scan, Seed: seed,
+	})
+}
+
+func printStats(tr *psn.Trace) {
+	counts := tr.ContactCounts()
+	xs := make([]float64, len(counts))
+	for i, c := range counts {
+		xs[i] = float64(c)
+	}
+	fmt.Printf("trace %q: %d nodes, %.0f s horizon, %d contacts\n",
+		tr.Name, tr.NumNodes, tr.Horizon, tr.Len())
+	fmt.Printf("per-node contacts: min %.0f / median %.0f / mean %.1f / max %.0f\n",
+		stats.Quantile(xs, 0), stats.Median(xs), stats.Mean(xs), stats.Quantile(xs, 1))
+	cl := psn.NewClassifier(tr)
+	fmt.Printf("median rate: %.5f contacts/s; %d in-nodes, %d out-nodes\n",
+		cl.Median(), len(cl.InNodes()), len(cl.OutNodes()))
+}

@@ -1,0 +1,114 @@
+// Command psn-paths enumerates the valid forwarding paths for messages
+// on a contact trace and reports the path-explosion metrics (optimal
+// path duration T1, time to explosion TE).
+//
+// Usage:
+//
+//	psn-paths -dataset infocom-9-12 -messages 20 -k 2000
+//	psn-paths -trace trace.txt -src 3 -dst 17 -start 600
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	psn "repro"
+)
+
+var datasetNames = map[string]psn.Dataset{
+	"infocom-9-12": psn.Infocom0912,
+	"infocom-3-6":  psn.Infocom0336,
+	"conext-9-12":  psn.Conext0912,
+	"conext-3-6":   psn.Conext0336,
+}
+
+func main() {
+	var (
+		dataset  = flag.String("dataset", "infocom-9-12", "named dataset (ignored with -trace)")
+		traceIn  = flag.String("trace", "", "read a trace file instead of generating one")
+		k        = flag.Int("k", 2000, "explosion threshold (paths)")
+		delta    = flag.Float64("delta", 10, "space-time discretization step (s)")
+		messages = flag.Int("messages", 10, "number of random messages (ignored with -src/-dst)")
+		src      = flag.Int("src", -1, "source node of a single message")
+		dst      = flag.Int("dst", -1, "destination node of a single message")
+		start    = flag.Float64("start", 0, "creation time of the single message (s)")
+		seed     = flag.Int64("seed", 42, "message sampling seed")
+		verbose  = flag.Bool("v", false, "print the first paths of each message")
+	)
+	flag.Parse()
+
+	tr, err := loadTrace(*traceIn, *dataset)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "psn-paths:", err)
+		os.Exit(1)
+	}
+	enum, err := psn.NewEnumerator(tr, psn.EnumOptions{K: *k, Delta: *delta})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "psn-paths:", err)
+		os.Exit(1)
+	}
+
+	msgs := buildMessages(tr, *src, *dst, *start, *messages, *seed)
+	fmt.Printf("%-6s %-6s %8s %10s %10s %8s %10s\n", "src", "dst", "start", "T1 (s)", "TE (s)", "paths", "exploded")
+	for _, m := range msgs {
+		res, err := enum.Enumerate(m)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "psn-paths:", err)
+			os.Exit(1)
+		}
+		s := res.ExplosionSummary(*k)
+		t1 := "-"
+		te := "-"
+		if s.Found {
+			t1 = fmt.Sprintf("%.0f", s.T1)
+		}
+		if s.Exploded {
+			te = fmt.Sprintf("%.0f", s.TE)
+		}
+		fmt.Printf("%-6d %-6d %8.0f %10s %10s %8d %10v\n", m.Src, m.Dst, m.Start, t1, te, s.Paths, s.Exploded)
+		if *verbose {
+			for i, p := range res.Arrivals {
+				if i >= 3 {
+					fmt.Printf("    ... %d more paths\n", len(res.Arrivals)-3)
+					break
+				}
+				fmt.Printf("    path %d: %s\n", i+1, p)
+			}
+		}
+	}
+}
+
+func loadTrace(path, dataset string) (*psn.Trace, error) {
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return psn.ReadTrace(f)
+	}
+	d, ok := datasetNames[dataset]
+	if !ok {
+		return nil, fmt.Errorf("unknown dataset %q", dataset)
+	}
+	return psn.GenerateDataset(d)
+}
+
+func buildMessages(tr *psn.Trace, src, dst int, start float64, n int, seed int64) []psn.PathMessage {
+	if src >= 0 && dst >= 0 {
+		return []psn.PathMessage{{Src: psn.NodeID(src), Dst: psn.NodeID(dst), Start: start}}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	msgs := make([]psn.PathMessage, 0, n)
+	for i := 0; i < n; i++ {
+		s := psn.NodeID(rng.Intn(tr.NumNodes))
+		d := psn.NodeID(rng.Intn(tr.NumNodes - 1))
+		if d >= s {
+			d++
+		}
+		msgs = append(msgs, psn.PathMessage{Src: s, Dst: d, Start: rng.Float64() * tr.Horizon * 2 / 3})
+	}
+	return msgs
+}

@@ -1,0 +1,107 @@
+// Command psn-sim runs the paper's forwarding-algorithm comparison on
+// a contact trace: success rate and mean delay per algorithm, with an
+// optional split by in/out pair type.
+//
+// Usage:
+//
+//	psn-sim -dataset infocom-9-12 -runs 10
+//	psn-sim -trace trace.txt -rate 0.25 -bypair
+//	psn-sim -dataset conext-9-12 -extended -relay
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	psn "repro"
+	"repro/internal/dtnsim"
+	"repro/internal/trace"
+)
+
+var datasetNames = map[string]psn.Dataset{
+	"infocom-9-12": psn.Infocom0912,
+	"infocom-3-6":  psn.Infocom0336,
+	"conext-9-12":  psn.Conext0912,
+	"conext-3-6":   psn.Conext0336,
+}
+
+func main() {
+	var (
+		dataset  = flag.String("dataset", "infocom-9-12", "named dataset (ignored with -trace)")
+		traceIn  = flag.String("trace", "", "read a trace file instead of generating one")
+		rate     = flag.Float64("rate", 0.25, "message rate (messages/s; paper: 1 per 4 s)")
+		runs     = flag.Int("runs", 10, "independent workload seeds to average")
+		seed     = flag.Int64("seed", 1, "base workload seed")
+		extended = flag.Bool("extended", false, "include Direct Delivery, Spray and Wait, PRoPHET")
+		relay    = flag.Bool("relay", false, "use single-copy relay semantics instead of replication")
+		byPair   = flag.Bool("bypair", false, "split results by in/out pair type")
+	)
+	flag.Parse()
+
+	tr, err := loadTrace(*traceIn, *dataset)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "psn-sim:", err)
+		os.Exit(1)
+	}
+	algos := psn.PaperAlgorithms()
+	if *extended {
+		algos = psn.AllAlgorithms()
+	}
+	mode := psn.Replicate
+	if *relay {
+		mode = psn.Relay
+	}
+
+	fmt.Printf("trace %q: %d nodes, %d contacts, %d runs x rate %.3g/s\n",
+		tr.Name, tr.NumNodes, tr.Len(), *runs, *rate)
+	cl := psn.NewClassifier(tr)
+	fmt.Printf("%-22s %10s %14s %10s %12s\n", "algorithm", "success", "avg delay (s)", "delivered", "txs/msg")
+	for _, alg := range algos {
+		var all []*psn.SimResult
+		for r := 0; r < *runs; r++ {
+			msgs := psn.SimWorkload(tr, *rate, tr.Horizon*2/3, *seed+int64(r))
+			res, err := psn.Simulate(psn.SimConfig{Trace: tr, Algorithm: alg, Messages: msgs, CopyMode: mode})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "psn-sim:", err)
+				os.Exit(1)
+			}
+			all = append(all, res)
+		}
+		merged := dtnsim.Merge(all...)
+		delivered := 0
+		for _, o := range merged.Outcomes {
+			if o.Delivered {
+				delivered++
+			}
+		}
+		txPerMsg := 0.0
+		if len(merged.Outcomes) > 0 {
+			txPerMsg = float64(merged.Transmissions) / float64(len(merged.Outcomes))
+		}
+		fmt.Printf("%-22s %10.3f %14.0f %10d %12.1f\n",
+			alg.Name(), merged.SuccessRate(), merged.MeanDelay(), delivered, txPerMsg)
+		if *byPair {
+			for _, pt := range trace.PairTypes {
+				part := merged.ByPairType(cl)[pt]
+				fmt.Printf("    %-18s %10.3f %14.0f %10d\n", pt, part.SuccessRate(), part.MeanDelay(), len(part.Outcomes))
+			}
+		}
+	}
+}
+
+func loadTrace(path, dataset string) (*psn.Trace, error) {
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return psn.ReadTrace(f)
+	}
+	d, ok := datasetNames[dataset]
+	if !ok {
+		return nil, fmt.Errorf("unknown dataset %q", dataset)
+	}
+	return psn.GenerateDataset(d)
+}

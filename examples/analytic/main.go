@@ -1,0 +1,67 @@
+// Analytic: validate the paper's §5.1 homogeneous path-explosion model
+// three ways — the truncated density ODE (Proposition 3), the closed
+// forms (Equations 2 and 4), and a Monte-Carlo simulation of the
+// finite-N Markov jump process — and show the §5.2 subset explosion
+// under heterogeneous rates.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	psn "repro"
+	"repro/internal/analytic"
+)
+
+func main() {
+	const (
+		n      = 1000
+		lambda = 0.5
+		tmax   = 10.0
+		kTrunc = 120
+	)
+	fmt.Printf("homogeneous model: N=%d nodes, contact rate λ=%.2f\n\n", n, lambda)
+
+	u0 := psn.SourceInitial(n, kTrunc)
+	ode, err := psn.SolveODE(u0, psn.ODEConfig{
+		Lambda: lambda, K: kTrunc, Step: 0.01, TMax: tmax, Snapshots: 6,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mc, err := psn.SimulateJump(psn.JumpConfig{
+		N: n, Lambda: lambda, TMax: tmax, Snapshots: 6, MaxState: 1 << 20, Seed: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%6s %14s %14s %14s\n", "t", "ODE mean", "e^{λt}/N", "MC mean")
+	for i, t := range ode.Times {
+		fmt.Printf("%6.1f %14.6f %14.6f %14.6f\n",
+			t, ode.MeanPaths(i), psn.MeanClosedForm(1.0/n, lambda, t), mc.MeanPaths(i))
+	}
+	fmt.Printf("\nexpected first-path time H = ln(N)/λ = %.1f\n", analytic.HittingTime(n, lambda))
+
+	// Subset explosion (§5.2): with uniform heterogeneous rates, each
+	// rate quartile's path count grows at a rate tracking its own
+	// contact rate.
+	rates := make([]float64, 96)
+	for i := range rates {
+		rates[i] = 0.05 * float64(i+1) / float64(len(rates))
+	}
+	sg, err := analytic.SimulateHeterogeneous(analytic.HeterogeneousConfig{
+		Rates: rates, TMax: 1200, Snapshots: 5, MaxState: 1e15, Seed: 2, Source: 95,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nsubset explosion: mean paths per node, by rate quartile")
+	fmt.Printf("%8s  q1(low)      q2          q3          q4(high)\n", "t")
+	for i, t := range sg.Times {
+		fmt.Printf("%8.0f  %-11.3g %-11.3g %-11.3g %-11.3g\n",
+			t, sg.MeanPaths[0][i], sg.MeanPaths[1][i], sg.MeanPaths[2][i], sg.MeanPaths[3][i])
+	}
+	fmt.Println("\nhigh-rate quartiles explode orders of magnitude sooner — the mechanism")
+	fmt.Println("behind the paper's in/out structure of T1 and TE.")
+}

@@ -1,0 +1,313 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSourceInitial(t *testing.T) {
+	u0 := SourceInitial(100, 10)
+	if len(u0) != 11 {
+		t.Fatalf("len = %d, want 11", len(u0))
+	}
+	if u0[1] != 0.01 || math.Abs(u0[0]-0.99) > 1e-12 {
+		t.Errorf("u0 = %v", u0[:2])
+	}
+	sum := 0.0
+	for _, u := range u0 {
+		sum += u
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("mass = %g", sum)
+	}
+}
+
+func TestSolveODEValidation(t *testing.T) {
+	good := ODEConfig{Lambda: 0.1, K: 5, Step: 0.1, TMax: 1, Snapshots: 2}
+	u0 := SourceInitial(10, 5)
+	for _, tc := range []struct {
+		name   string
+		mutate func(*ODEConfig)
+	}{
+		{"lambda", func(c *ODEConfig) { c.Lambda = 0 }},
+		{"K", func(c *ODEConfig) { c.K = 0 }},
+		{"step", func(c *ODEConfig) { c.Step = 0 }},
+		{"tmax", func(c *ODEConfig) { c.TMax = 0 }},
+		{"snapshots", func(c *ODEConfig) { c.Snapshots = 1 }},
+	} {
+		cfg := good
+		tc.mutate(&cfg)
+		if _, err := SolveODE(u0, cfg); err == nil {
+			t.Errorf("%s: bad config accepted", tc.name)
+		}
+	}
+	if _, err := SolveODE(nil, good); err == nil {
+		t.Errorf("empty initial accepted")
+	}
+	if _, err := SolveODE([]float64{0.5, 0.4}, good); err == nil {
+		t.Errorf("non-normalized initial accepted")
+	}
+	if _, err := SolveODE([]float64{1.5, -0.5}, good); err == nil {
+		t.Errorf("negative initial accepted")
+	}
+}
+
+// The integrator must reproduce the closed-form mean growth
+// E[S(t)] = E[S(0)]·e^{λt} (Equation 4) while mass stays within the
+// truncation.
+func TestODEMeanMatchesClosedForm(t *testing.T) {
+	const (
+		n      = 100
+		lambda = 0.5
+		tmax   = 6.0 // e^{0.5·6}/100 ≈ 0.2 paths per node: well below K
+	)
+	u0 := SourceInitial(n, 60)
+	sol, err := SolveODE(u0, ODEConfig{Lambda: lambda, K: 60, Step: 0.01, TMax: tmax, Snapshots: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sol.Times) != 7 {
+		t.Fatalf("snapshots = %d, want 7", len(sol.Times))
+	}
+	for i, tt := range sol.Times {
+		want := MeanClosedForm(1.0/n, lambda, tt)
+		got := sol.MeanPaths(i)
+		if rel := math.Abs(got-want) / want; rel > 0.02 {
+			t.Errorf("t=%g: mean = %g, closed form %g (rel err %g)", tt, got, want, rel)
+		}
+	}
+}
+
+func TestODESecondMomentMatchesClosedForm(t *testing.T) {
+	const (
+		n      = 200
+		lambda = 0.4
+		tmax   = 6.0
+	)
+	u0 := SourceInitial(n, 80)
+	sol, err := SolveODE(u0, ODEConfig{Lambda: lambda, K: 80, Step: 0.01, TMax: tmax, Snapshots: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean0 := 1.0 / n
+	for i, tt := range sol.Times {
+		if tt == 0 {
+			continue
+		}
+		wantVar := VarianceClosedForm(mean0, mean0-mean0*mean0, lambda, tt)
+		gotVar := sol.VariancePaths(i)
+		if rel := math.Abs(gotVar-wantVar) / wantVar; rel > 0.05 {
+			t.Errorf("t=%g: variance = %g, closed form %g (rel err %g)", tt, gotVar, wantVar, rel)
+		}
+	}
+}
+
+// Mass is conserved (Σu_k = 1) while the population remains within the
+// truncation window.
+func TestODEMassConservation(t *testing.T) {
+	u0 := SourceInitial(50, 40)
+	sol, err := SolveODE(u0, ODEConfig{Lambda: 1, K: 40, Step: 0.005, TMax: 3, Snapshots: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sol.Times {
+		if m := sol.TotalMass(i); math.Abs(m-1) > 1e-3 {
+			t.Errorf("t=%g: mass = %g", sol.Times[i], m)
+		}
+	}
+}
+
+func TestPhiClosedForm(t *testing.T) {
+	// φ constant at 1.
+	if got := Phi(1, 0.5, 3); got != 1 {
+		t.Errorf("Phi(1) = %g, want 1", got)
+	}
+	// φ < 1 decays toward 0.
+	p1 := Phi(0.9, 0.5, 1)
+	p2 := Phi(0.9, 0.5, 5)
+	if !(p2 < p1 && p1 < 0.9) {
+		t.Errorf("phi<1 should decay: %g, %g", p1, p2)
+	}
+	// φ > 1 grows and diverges at the critical time.
+	tc := CriticalTime(1.2, 0.5)
+	if math.IsInf(tc, 1) {
+		t.Fatalf("critical time should be finite")
+	}
+	before := Phi(1.2, 0.5, tc*0.99)
+	if math.IsInf(before, 1) || before <= 1.2 {
+		t.Errorf("phi before critical time = %g", before)
+	}
+	after := Phi(1.2, 0.5, tc*1.01)
+	if !math.IsInf(after, 1) {
+		t.Errorf("phi after critical time = %g, want +Inf", after)
+	}
+}
+
+func TestCriticalTimeBelowOne(t *testing.T) {
+	if !math.IsInf(CriticalTime(0.9, 1), 1) {
+		t.Errorf("critical time for phi0 <= 1 should be +Inf")
+	}
+	if !math.IsInf(CriticalTime(1, 1), 1) {
+		t.Errorf("critical time for phi0 == 1 should be +Inf")
+	}
+}
+
+// The ODE solution's generating function must track the closed form:
+// φ_x(t) computed from the integrated densities matches Equation (2).
+func TestODEGeneratingFunctionMatchesPhi(t *testing.T) {
+	const (
+		n      = 100
+		lambda = 0.5
+		x      = 0.7
+	)
+	u0 := SourceInitial(n, 60)
+	sol, err := SolveODE(u0, ODEConfig{Lambda: lambda, K: 60, Step: 0.01, TMax: 5, Snapshots: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	phi0 := PhiAtZero(u0, x)
+	for i, tt := range sol.Times {
+		want := Phi(phi0, lambda, tt)
+		got := PhiAtZero(sol.U[i], x)
+		if math.Abs(got-want) > 0.005 {
+			t.Errorf("t=%g: phi = %g, closed form %g", tt, got, want)
+		}
+	}
+}
+
+func TestPhiAtZero(t *testing.T) {
+	u := []float64{0.5, 0.25, 0.25}
+	// φ_2(0) = 0.5 + 0.25·2 + 0.25·4 = 2
+	if got := PhiAtZero(u, 2); math.Abs(got-2) > 1e-12 {
+		t.Errorf("PhiAtZero = %g, want 2", got)
+	}
+}
+
+func TestHittingTime(t *testing.T) {
+	if got, want := HittingTime(100, 0.5), math.Log(100)/0.5; math.Abs(got-want) > 1e-12 {
+		t.Errorf("HittingTime = %g, want %g", got, want)
+	}
+}
+
+func TestSimulateJumpValidation(t *testing.T) {
+	good := JumpConfig{N: 10, Lambda: 1, TMax: 1, Snapshots: 2, MaxState: 8}
+	for _, tc := range []struct {
+		name   string
+		mutate func(*JumpConfig)
+	}{
+		{"N", func(c *JumpConfig) { c.N = 1 }},
+		{"lambda", func(c *JumpConfig) { c.Lambda = 0 }},
+		{"tmax", func(c *JumpConfig) { c.TMax = 0 }},
+		{"snapshots", func(c *JumpConfig) { c.Snapshots = 1 }},
+		{"maxstate", func(c *JumpConfig) { c.MaxState = 0 }},
+	} {
+		cfg := good
+		tc.mutate(&cfg)
+		if _, err := SimulateJump(cfg); err == nil {
+			t.Errorf("%s: bad config accepted", tc.name)
+		}
+	}
+}
+
+// The finite-N jump process mean must track Equation (4) within Monte
+// Carlo error (averaged over several seeds).
+func TestJumpProcessMatchesClosedForm(t *testing.T) {
+	const (
+		n      = 2000
+		lambda = 0.5
+		tmax   = 8.0
+	)
+	var meanAtEnd float64
+	const runs = 5
+	for seed := int64(0); seed < runs; seed++ {
+		sol, err := SimulateJump(JumpConfig{
+			N: n, Lambda: lambda, TMax: tmax, Snapshots: 3, MaxState: 4096, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		meanAtEnd += sol.MeanPaths(len(sol.Times) - 1)
+	}
+	meanAtEnd /= runs
+	want := MeanClosedForm(1.0/n, lambda, tmax)
+	if rel := math.Abs(meanAtEnd-want) / want; rel > 0.5 {
+		t.Errorf("jump mean = %g, closed form %g (rel err %g)", meanAtEnd, want, rel)
+	}
+}
+
+// Densities from the jump process are probability vectors.
+func TestJumpDensityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		sol, err := SimulateJump(JumpConfig{
+			N: 50, Lambda: 1, TMax: 2, Snapshots: 3, MaxState: 64, Seed: seed,
+		})
+		if err != nil {
+			return false
+		}
+		for i := range sol.Times {
+			sum := 0.0
+			for _, u := range sol.U[i] {
+				if u < 0 {
+					return false
+				}
+				sum += u
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSimulateHeterogeneousValidation(t *testing.T) {
+	rates := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	good := HeterogeneousConfig{Rates: rates, TMax: 1, Snapshots: 2, MaxState: 100}
+	if _, err := SimulateHeterogeneous(good); err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+	for _, tc := range []struct {
+		name string
+		cfg  HeterogeneousConfig
+	}{
+		{"few nodes", HeterogeneousConfig{Rates: []float64{1, 2}, TMax: 1, Snapshots: 2, MaxState: 10}},
+		{"tmax", HeterogeneousConfig{Rates: rates, TMax: 0, Snapshots: 2, MaxState: 10}},
+		{"snapshots", HeterogeneousConfig{Rates: rates, TMax: 1, Snapshots: 1, MaxState: 10}},
+		{"maxstate", HeterogeneousConfig{Rates: rates, TMax: 1, Snapshots: 2, MaxState: 0}},
+		{"source", HeterogeneousConfig{Rates: rates, TMax: 1, Snapshots: 2, MaxState: 10, Source: 99}},
+		{"negative rate", HeterogeneousConfig{Rates: []float64{1, -1, 2, 3}, TMax: 1, Snapshots: 2, MaxState: 10}},
+		{"zero rates", HeterogeneousConfig{Rates: []float64{0, 0, 0, 0}, TMax: 1, Snapshots: 2, MaxState: 10}},
+	} {
+		if _, err := SimulateHeterogeneous(tc.cfg); err == nil {
+			t.Errorf("%s: bad config accepted", tc.name)
+		}
+	}
+}
+
+// Subset explosion (§5.2): the top rate quartile accumulates paths
+// faster than the bottom quartile.
+func TestSubsetExplosionOrdering(t *testing.T) {
+	rates := make([]float64, 80)
+	for i := range rates {
+		rates[i] = 0.05 * float64(i+1) / 80 // uniform-ish (0, 0.05]
+	}
+	sg, err := SimulateHeterogeneous(HeterogeneousConfig{
+		Rates: rates, TMax: 600, Snapshots: 4, MaxState: 1e12, Seed: 3, Source: 79,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := len(sg.Times) - 1
+	top := sg.MeanPaths[3][last]
+	bottom := sg.MeanPaths[0][last]
+	if top <= bottom {
+		t.Errorf("top quartile mean %g should exceed bottom %g", top, bottom)
+	}
+	if sg.Rates[3] <= sg.Rates[0] {
+		t.Errorf("class rates not ordered: %v", sg.Rates)
+	}
+}

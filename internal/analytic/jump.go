@@ -1,0 +1,246 @@
+package analytic
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// This file simulates the finite-N Markov jump process of §5.1.2
+// directly, validating the Kurtz-limit ODE: each node carries a path
+// count S_n; contact opportunities arrive as Poisson processes; on a
+// contact of xn with xm, S_m ← S_m + S_n.
+
+// JumpConfig parametrizes the homogeneous jump-process simulator.
+type JumpConfig struct {
+	N         int     // population size
+	Lambda    float64 // per-node contact opportunity rate
+	TMax      float64 // simulated horizon
+	Snapshots int     // number of evenly spaced snapshots (>= 2)
+	MaxState  int     // path counts above MaxState collapse into the top bucket
+	Seed      int64
+}
+
+func (c JumpConfig) validate() error {
+	switch {
+	case c.N < 2:
+		return fmt.Errorf("analytic: jump process needs N >= 2, have %d", c.N)
+	case c.Lambda <= 0:
+		return fmt.Errorf("analytic: lambda %g must be positive", c.Lambda)
+	case c.TMax <= 0:
+		return fmt.Errorf("analytic: tmax %g must be positive", c.TMax)
+	case c.Snapshots < 2:
+		return fmt.Errorf("analytic: need >= 2 snapshots")
+	case c.MaxState < 1:
+		return fmt.Errorf("analytic: max state %d must be >= 1", c.MaxState)
+	}
+	return nil
+}
+
+// SimulateJump runs the homogeneous jump process from the paper's
+// initial condition (one source node with a single path) and returns
+// empirical densities U(t)/N at the snapshot times. Path counts are
+// capped at MaxState to keep the state finite; the cap only matters
+// after the explosion has saturated the population.
+func SimulateJump(cfg JumpConfig) (*Solution, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	s := make([]uint64, cfg.N)
+	s[0] = 1
+
+	sol := &Solution{}
+	snapEvery := cfg.TMax / float64(cfg.Snapshots-1)
+	nextSnap := 0.0
+	record := func(t float64) {
+		u := make([]float64, cfg.MaxState+1)
+		for _, v := range s {
+			k := v
+			if k > uint64(cfg.MaxState) {
+				k = uint64(cfg.MaxState)
+			}
+			u[k] += 1 / float64(cfg.N)
+		}
+		sol.Times = append(sol.Times, t)
+		sol.U = append(sol.U, u)
+	}
+
+	// Aggregate event rate: each of the N nodes initiates contact
+	// opportunities at rate λ.
+	totalRate := float64(cfg.N) * cfg.Lambda
+	t := 0.0
+	for {
+		for t >= nextSnap-1e-12 {
+			record(nextSnap)
+			nextSnap += snapEvery
+			if len(sol.Times) >= cfg.Snapshots {
+				return sol, nil
+			}
+		}
+		t += rng.ExpFloat64() / totalRate
+		if t > cfg.TMax {
+			for len(sol.Times) < cfg.Snapshots {
+				record(nextSnap)
+				nextSnap += snapEvery
+			}
+			return sol, nil
+		}
+		from := rng.Intn(cfg.N)
+		to := rng.Intn(cfg.N - 1)
+		if to >= from {
+			to++
+		}
+		sum := s[to] + s[from]
+		if sum < s[to] { // overflow guard
+			sum = ^uint64(0)
+		}
+		s[to] = sum
+	}
+}
+
+// SubsetGrowth records, for one rate class, the mean log-number of
+// paths held by nodes of that class over time.
+type SubsetGrowth struct {
+	Times []float64
+	// MeanPaths[c][i] is the mean path count of class c at Times[i]
+	// (capped at MaxState).
+	MeanPaths [][]float64
+	// Rates[c] is the representative contact rate of class c.
+	Rates []float64
+}
+
+// HeterogeneousConfig parametrizes the inhomogeneous jump process of
+// §5.2: node n initiates contacts at rate rates[n], and the contacted
+// peer is chosen with probability proportional to its rate (the same
+// product form as the trace generator).
+type HeterogeneousConfig struct {
+	Rates     []float64 // per-node contact rates
+	TMax      float64
+	Snapshots int
+	MaxState  float64 // cap on tracked path counts (as float; counts grow fast)
+	Seed      int64
+	Source    int // index of the node holding the initial path
+}
+
+// SimulateHeterogeneous runs the inhomogeneous jump process and
+// reports the mean path count over time for each quartile of the rate
+// distribution (class 0 = lowest-rate quartile). This exhibits the
+// paper's subset path explosion: the growth rate of paths within a
+// class tracks the class's contact rate, so high-rate nodes explode
+// first.
+func SimulateHeterogeneous(cfg HeterogeneousConfig) (*SubsetGrowth, error) {
+	n := len(cfg.Rates)
+	if n < 4 {
+		return nil, fmt.Errorf("analytic: heterogeneous process needs >= 4 nodes, have %d", n)
+	}
+	if cfg.TMax <= 0 || cfg.Snapshots < 2 {
+		return nil, fmt.Errorf("analytic: bad tmax %g or snapshots %d", cfg.TMax, cfg.Snapshots)
+	}
+	if cfg.MaxState <= 0 {
+		return nil, fmt.Errorf("analytic: max state %g must be positive", cfg.MaxState)
+	}
+	if cfg.Source < 0 || cfg.Source >= n {
+		return nil, fmt.Errorf("analytic: source %d out of range", cfg.Source)
+	}
+	var totalRate float64
+	for i, r := range cfg.Rates {
+		if r < 0 {
+			return nil, fmt.Errorf("analytic: negative rate at %d", i)
+		}
+		totalRate += r
+	}
+	if totalRate == 0 {
+		return nil, fmt.Errorf("analytic: all rates are zero")
+	}
+
+	// Quartile classes by rate.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return cfg.Rates[order[a]] < cfg.Rates[order[b]] })
+	class := make([]int, n)
+	classRateSum := make([]float64, 4)
+	classSize := make([]int, 4)
+	for pos, node := range order {
+		c := pos * 4 / n
+		if c > 3 {
+			c = 3
+		}
+		class[node] = c
+		classRateSum[c] += cfg.Rates[node]
+		classSize[c]++
+	}
+
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	s := make([]float64, n)
+	s[cfg.Source] = 1
+
+	out := &SubsetGrowth{
+		MeanPaths: make([][]float64, 4),
+		Rates:     make([]float64, 4),
+	}
+	for c := 0; c < 4; c++ {
+		if classSize[c] > 0 {
+			out.Rates[c] = classRateSum[c] / float64(classSize[c])
+		}
+	}
+
+	record := func(t float64) {
+		out.Times = append(out.Times, t)
+		sums := make([]float64, 4)
+		for i, v := range s {
+			sums[class[i]] += v
+		}
+		for c := 0; c < 4; c++ {
+			mean := 0.0
+			if classSize[c] > 0 {
+				mean = sums[c] / float64(classSize[c])
+			}
+			out.MeanPaths[c] = append(out.MeanPaths[c], mean)
+		}
+	}
+
+	// Weighted peer selection via cumulative rates.
+	cum := make([]float64, n)
+	acc := 0.0
+	for i, r := range cfg.Rates {
+		acc += r
+		cum[i] = acc
+	}
+	pick := func() int {
+		x := rng.Float64() * totalRate
+		return sort.SearchFloat64s(cum, x)
+	}
+
+	snapEvery := cfg.TMax / float64(cfg.Snapshots-1)
+	nextSnap := 0.0
+	t := 0.0
+	for {
+		for t >= nextSnap-1e-12 {
+			record(nextSnap)
+			nextSnap += snapEvery
+			if len(out.Times) >= cfg.Snapshots {
+				return out, nil
+			}
+		}
+		t += rng.ExpFloat64() / totalRate
+		if t > cfg.TMax {
+			for len(out.Times) < cfg.Snapshots {
+				record(nextSnap)
+				nextSnap += snapEvery
+			}
+			return out, nil
+		}
+		from := pick()
+		to := pick()
+		if from == to {
+			continue
+		}
+		s[to] += s[from]
+		if s[to] > cfg.MaxState {
+			s[to] = cfg.MaxState
+		}
+	}
+}

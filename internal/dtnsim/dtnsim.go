@@ -1,0 +1,434 @@
+// Package dtnsim is the trace-driven DTN simulator of the paper's §6:
+// it replays a contact trace, injects a Poisson message workload
+// (one message per 4 seconds over the first two hours, endpoints
+// uniform at random), runs a forwarding algorithm with infinite
+// buffers and zero transmission time, and reports success rate S and
+// average delay D — overall and split by in/out pair type.
+//
+// Semantics follow §4.1: minimal progress (any holder meeting the
+// destination delivers immediately), store-and-forward with instant
+// in-component propagation (a message received mid-contact can
+// immediately traverse the holder's other live contacts), and
+// replication by default (a forwarding node keeps its copy; the paper
+// models nodes that never discard messages).
+package dtnsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/forward"
+	"repro/internal/trace"
+)
+
+// Message is one unicast message to be delivered.
+type Message struct {
+	Src, Dst trace.NodeID
+	Start    float64
+}
+
+// CopyMode selects what happens to the holder's copy on a forward.
+type CopyMode int
+
+const (
+	// Replicate keeps the holder's copy (the paper's model: nodes hold
+	// every message until the end of the simulation).
+	Replicate CopyMode = iota
+	// Relay hands the single copy over (single-copy ablation AB3).
+	Relay
+)
+
+func (m CopyMode) String() string {
+	if m == Relay {
+		return "relay"
+	}
+	return "replicate"
+}
+
+// Config parametrizes one simulation run.
+type Config struct {
+	Trace     *trace.Trace
+	Algorithm forward.Algorithm
+	Messages  []Message
+	CopyMode  CopyMode
+}
+
+// Outcome records the fate of one message.
+type Outcome struct {
+	Msg       Message
+	Delivered bool
+	Delay     float64 // first-delivery latency (valid when Delivered)
+	Hops      int     // transmissions on the delivering copy's path
+}
+
+// Result aggregates a run.
+type Result struct {
+	Algorithm string
+	Outcomes  []Outcome
+
+	// Transmissions counts every message copy handed between nodes
+	// (including final deliveries). The paper leaves forwarding cost
+	// as future work (§7); this is the natural cost metric for
+	// comparing algorithms that achieve similar delay and success.
+	Transmissions int
+}
+
+// maxSimNodes bounds the population (holder sets are two-word bitsets).
+const maxSimNodes = 128
+
+// Run simulates cfg and returns per-message outcomes.
+func Run(cfg Config) (*Result, error) {
+	tr := cfg.Trace
+	if tr == nil {
+		return nil, fmt.Errorf("dtnsim: nil trace")
+	}
+	if cfg.Algorithm == nil {
+		return nil, fmt.Errorf("dtnsim: nil algorithm")
+	}
+	if tr.NumNodes > maxSimNodes {
+		return nil, fmt.Errorf("dtnsim: trace has %d nodes, max %d", tr.NumNodes, maxSimNodes)
+	}
+	for i, m := range cfg.Messages {
+		if m.Src < 0 || int(m.Src) >= tr.NumNodes || m.Dst < 0 || int(m.Dst) >= tr.NumNodes {
+			return nil, fmt.Errorf("dtnsim: message %d endpoints out of range", i)
+		}
+		if m.Src == m.Dst {
+			return nil, fmt.Errorf("dtnsim: message %d has equal endpoints", i)
+		}
+		if m.Start < 0 || m.Start >= tr.Horizon {
+			return nil, fmt.Errorf("dtnsim: message %d start %g outside trace", i, m.Start)
+		}
+	}
+
+	s := newSim(cfg)
+	s.run()
+	return &Result{Algorithm: cfg.Algorithm.Name(), Outcomes: s.outcomes, Transmissions: s.sent}, nil
+}
+
+// event kinds, processed in time order; at equal times contact starts
+// precede message creations (a message created at the instant a
+// contact begins may use it), and ends come last.
+type eventKind int
+
+const (
+	evContactStart eventKind = iota
+	evMsgCreate
+	evContactEnd
+)
+
+type event struct {
+	time float64
+	kind eventKind
+	a, b trace.NodeID // contact endpoints
+	msg  int          // message index
+}
+
+type holderSet [2]uint64
+
+func (h holderSet) has(n trace.NodeID) bool { return h[n>>6]&(1<<(uint(n)&63)) != 0 }
+func (h *holderSet) add(n trace.NodeID)     { h[n>>6] |= 1 << (uint(n) & 63) }
+func (h *holderSet) remove(n trace.NodeID)  { h[n>>6] &^= 1 << (uint(n) & 63) }
+
+type msgState struct {
+	msg       Message
+	holders   holderSet
+	hops      []int8 // per-node hop count of its copy
+	copies    []int16
+	delivered bool
+	created   bool
+}
+
+type sim struct {
+	cfg      Config
+	view     *forward.View
+	obs      forward.ContactObserver
+	sprayL   int // 0 when the algorithm has no copy budget
+	open     [][]trace.NodeID
+	msgs     []msgState
+	live     map[int]bool
+	outcomes []Outcome
+	sent     int // total copy transfers, including deliveries
+}
+
+func newSim(cfg Config) *sim {
+	n := cfg.Trace.NumNodes
+	s := &sim{
+		cfg:  cfg,
+		view: forward.NewView(n),
+		open: make([][]trace.NodeID, n),
+		live: make(map[int]bool),
+	}
+	s.view.SetOracle(cfg.Trace)
+	if st, ok := cfg.Algorithm.(forward.Stateful); ok {
+		st.Reset(n)
+	}
+	if o, ok := cfg.Algorithm.(forward.ContactObserver); ok {
+		s.obs = o
+	}
+	if cb, ok := cfg.Algorithm.(forward.CopyBudget); ok {
+		s.sprayL = cb.InitialCopies()
+	}
+	s.msgs = make([]msgState, len(cfg.Messages))
+	s.outcomes = make([]Outcome, len(cfg.Messages))
+	for i, m := range cfg.Messages {
+		s.msgs[i].msg = m
+		s.msgs[i].hops = make([]int8, n)
+		if s.sprayL > 0 {
+			s.msgs[i].copies = make([]int16, n)
+		}
+		s.outcomes[i] = Outcome{Msg: m}
+	}
+	return s
+}
+
+func (s *sim) run() {
+	events := make([]event, 0, 2*s.cfg.Trace.Len()+len(s.cfg.Messages))
+	for _, c := range s.cfg.Trace.Contacts() {
+		events = append(events,
+			event{time: c.Start, kind: evContactStart, a: c.A, b: c.B},
+			event{time: c.End, kind: evContactEnd, a: c.A, b: c.B},
+		)
+	}
+	for i, m := range s.cfg.Messages {
+		events = append(events, event{time: m.Start, kind: evMsgCreate, msg: i})
+	}
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].time != events[j].time {
+			return events[i].time < events[j].time
+		}
+		return events[i].kind < events[j].kind
+	})
+	for _, ev := range events {
+		switch ev.kind {
+		case evContactStart:
+			s.contactStart(ev.a, ev.b, ev.time)
+		case evMsgCreate:
+			s.createMessage(ev.msg, ev.time)
+		case evContactEnd:
+			s.contactEnd(ev.a, ev.b)
+		}
+	}
+}
+
+func (s *sim) contactStart(a, b trace.NodeID, now float64) {
+	// Overlapping records of the same pair are kept as a multiset: each
+	// record contributes one open entry and one end-time removal, so a
+	// longer overlapping record keeps the pair connected. Each record
+	// also counts as one observed contact, matching trace.ContactCounts.
+	s.view.Observe(a, b, now)
+	if s.obs != nil {
+		s.obs.OnContact(a, b, now)
+	}
+	s.open[a] = append(s.open[a], b)
+	s.open[b] = append(s.open[b], a)
+	for id := range s.live {
+		s.exchange(id, a, b, now)
+		s.exchange(id, b, a, now)
+	}
+}
+
+func (s *sim) contactEnd(a, b trace.NodeID) {
+	s.open[a] = removeNode(s.open[a], b)
+	s.open[b] = removeNode(s.open[b], a)
+}
+
+func removeNode(list []trace.NodeID, n trace.NodeID) []trace.NodeID {
+	for i, x := range list {
+		if x == n {
+			list[i] = list[len(list)-1]
+			return list[:len(list)-1]
+		}
+	}
+	return list
+}
+
+func (s *sim) createMessage(id int, now float64) {
+	m := &s.msgs[id]
+	m.created = true
+	m.holders.add(m.msg.Src)
+	if s.sprayL > 0 {
+		m.copies[m.msg.Src] = int16(s.sprayL)
+	}
+	s.live[id] = true
+	// The source may already be inside a live contact component;
+	// spread (or deliver, which removes the message from the live set)
+	// immediately.
+	s.spread(id, m.msg.Src, now)
+}
+
+// exchange considers handing message id from holder to peer at a
+// contact event, then lets the message spread onward from the peer.
+func (s *sim) exchange(id int, holder, peer trace.NodeID, now float64) {
+	m := &s.msgs[id]
+	if m.delivered || !m.created || !m.holders.has(holder) || m.holders.has(peer) {
+		return
+	}
+	if peer == m.msg.Dst {
+		s.deliver(id, holder, now)
+		return
+	}
+	if !s.shouldForward(id, holder, peer, now) {
+		return
+	}
+	s.transfer(id, holder, peer)
+	s.spread(id, peer, now)
+}
+
+// spread propagates message id from node through the live contact
+// component (zero transmission time), respecting the forwarding rule
+// at each hop.
+func (s *sim) spread(id int, from trace.NodeID, now float64) {
+	m := &s.msgs[id]
+	if m.delivered {
+		return
+	}
+	queue := []trace.NodeID{from}
+	for len(queue) > 0 && !m.delivered {
+		cur := queue[0]
+		queue = queue[1:]
+		if !m.holders.has(cur) {
+			continue // copy moved on (relay mode)
+		}
+		for _, peer := range s.open[cur] {
+			if m.delivered {
+				return
+			}
+			if m.holders.has(peer) {
+				continue
+			}
+			if peer == m.msg.Dst {
+				s.deliver(id, cur, now)
+				return
+			}
+			if !s.shouldForward(id, cur, peer, now) {
+				continue
+			}
+			s.transfer(id, cur, peer)
+			queue = append(queue, peer)
+		}
+	}
+}
+
+func (s *sim) shouldForward(id int, holder, peer trace.NodeID, now float64) bool {
+	m := &s.msgs[id]
+	if s.sprayL > 0 && m.copies[holder] <= 1 {
+		return false // wait phase: only direct delivery
+	}
+	return s.cfg.Algorithm.Forward(s.view, holder, peer, m.msg.Dst, now)
+}
+
+func (s *sim) transfer(id int, holder, peer trace.NodeID) {
+	s.sent++
+	m := &s.msgs[id]
+	m.holders.add(peer)
+	m.hops[peer] = m.hops[holder] + 1
+	if s.sprayL > 0 {
+		half := m.copies[holder] / 2
+		m.copies[peer] = half
+		m.copies[holder] -= half
+	}
+	if s.cfg.CopyMode == Relay {
+		m.holders.remove(holder)
+	}
+}
+
+func (s *sim) deliver(id int, holder trace.NodeID, now float64) {
+	s.sent++
+	m := &s.msgs[id]
+	m.delivered = true
+	s.outcomes[id].Delivered = true
+	s.outcomes[id].Delay = now - m.msg.Start
+	s.outcomes[id].Hops = int(m.hops[holder]) + 1
+	delete(s.live, id)
+}
+
+// SuccessRate returns the fraction of messages delivered.
+func (r *Result) SuccessRate() float64 {
+	if len(r.Outcomes) == 0 {
+		return math.NaN()
+	}
+	n := 0
+	for _, o := range r.Outcomes {
+		if o.Delivered {
+			n++
+		}
+	}
+	return float64(n) / float64(len(r.Outcomes))
+}
+
+// MeanDelay returns the average delay over delivered messages, or NaN
+// if none were delivered (the paper's D = E[T | delivered]).
+func (r *Result) MeanDelay() float64 {
+	sum, n := 0.0, 0
+	for _, o := range r.Outcomes {
+		if o.Delivered {
+			sum += o.Delay
+			n++
+		}
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}
+
+// Delays returns the delays of all delivered messages.
+func (r *Result) Delays() []float64 {
+	var out []float64
+	for _, o := range r.Outcomes {
+		if o.Delivered {
+			out = append(out, o.Delay)
+		}
+	}
+	return out
+}
+
+// ByPairType partitions outcomes by the in/out class of their
+// endpoints (§5.2) under cl.
+func (r *Result) ByPairType(cl *trace.Classifier) map[trace.PairType]*Result {
+	out := make(map[trace.PairType]*Result, 4)
+	for _, pt := range trace.PairTypes {
+		out[pt] = &Result{Algorithm: r.Algorithm}
+	}
+	for _, o := range r.Outcomes {
+		pt := cl.Classify(o.Msg.Src, o.Msg.Dst)
+		out[pt].Outcomes = append(out[pt].Outcomes, o)
+	}
+	return out
+}
+
+// Merge combines results from multiple runs of the same algorithm.
+func Merge(rs ...*Result) *Result {
+	if len(rs) == 0 {
+		return &Result{}
+	}
+	m := &Result{Algorithm: rs[0].Algorithm}
+	for _, r := range rs {
+		m.Outcomes = append(m.Outcomes, r.Outcomes...)
+		m.Transmissions += r.Transmissions
+	}
+	return m
+}
+
+// Workload draws the paper's message workload: a Poisson process with
+// the given rate (the paper uses one message per 4 s) over
+// [0, genHorizon), with endpoints uniform at random among distinct
+// node pairs.
+func Workload(tr *trace.Trace, rate, genHorizon float64, seed int64) []Message {
+	rng := rand.New(rand.NewSource(seed))
+	var out []Message
+	if rate <= 0 || genHorizon <= 0 {
+		return out
+	}
+	for t := rng.ExpFloat64() / rate; t < genHorizon && t < tr.Horizon; t += rng.ExpFloat64() / rate {
+		src := trace.NodeID(rng.Intn(tr.NumNodes))
+		dst := trace.NodeID(rng.Intn(tr.NumNodes - 1))
+		if dst >= src {
+			dst++
+		}
+		out = append(out, Message{Src: src, Dst: dst, Start: t})
+	}
+	return out
+}

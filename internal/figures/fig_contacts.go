@@ -1,0 +1,102 @@
+package figures
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/stats"
+	"repro/internal/tracegen"
+)
+
+// Figure 1: time series of total contacts over all nodes, 1-minute
+// bins, for each dataset.
+
+// TimeSeries is one dataset's binned contact counts.
+type TimeSeries struct {
+	Dataset tracegen.Dataset
+	BinSize float64
+	Bins    []int
+}
+
+// ComputeFig01 bins each dataset's contacts per minute.
+func (h *Harness) ComputeFig01() []TimeSeries {
+	out := make([]TimeSeries, 0, len(h.P.Datasets))
+	for _, d := range h.P.Datasets {
+		out = append(out, TimeSeries{
+			Dataset: d,
+			BinSize: 60,
+			Bins:    h.Trace(d).TotalContactsPerBin(60),
+		})
+	}
+	return out
+}
+
+func renderFig01(h *Harness, w io.Writer) error {
+	for _, ts := range h.ComputeFig01() {
+		xs := make([]float64, len(ts.Bins))
+		for i, b := range ts.Bins {
+			xs[i] = float64(b)
+		}
+		fmt.Fprintf(w, "%-16s min/mean/max contacts per minute: %.0f / %.1f / %.0f\n",
+			ts.Dataset, stats.Quantile(xs, 0), stats.Mean(xs), stats.Quantile(xs, 1))
+		fmt.Fprintf(w, "  minute:  ")
+		for m := 0; m < len(ts.Bins); m += 15 {
+			fmt.Fprintf(w, "%6d", m)
+		}
+		fmt.Fprintf(w, "\n  contacts:")
+		for m := 0; m < len(ts.Bins); m += 15 {
+			fmt.Fprintf(w, "%6d", ts.Bins[m])
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// Figure 7: cumulative distribution of per-node contact counts.
+
+// CountCDF is one dataset's per-node contact count distribution.
+type CountCDF struct {
+	Dataset tracegen.Dataset
+	Counts  []float64
+	ECDF    *stats.ECDF
+}
+
+// ComputeFig07 builds each dataset's contact-count ECDF.
+func (h *Harness) ComputeFig07() ([]CountCDF, error) {
+	out := make([]CountCDF, 0, len(h.P.Datasets))
+	for _, d := range h.P.Datasets {
+		counts := h.Trace(d).ContactCounts()
+		xs := make([]float64, len(counts))
+		for i, c := range counts {
+			xs[i] = float64(c)
+		}
+		e, err := stats.NewECDF(xs)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, CountCDF{Dataset: d, Counts: xs, ECDF: e})
+	}
+	return out, nil
+}
+
+func renderFig07(h *Harness, w io.Writer) error {
+	cdfs, err := h.ComputeFig07()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-16s %8s %8s %8s %8s %8s %10s\n",
+		"dataset", "p10", "p25", "p50", "p75", "p90", "max")
+	for _, c := range cdfs {
+		fmt.Fprintf(w, "%-16s %8.0f %8.0f %8.0f %8.0f %8.0f %10.0f\n",
+			c.Dataset,
+			c.ECDF.Quantile(0.10), c.ECDF.Quantile(0.25), c.ECDF.Quantile(0.50),
+			c.ECDF.Quantile(0.75), c.ECDF.Quantile(0.90), c.ECDF.Max())
+	}
+	fmt.Fprintln(w, "shape check: quantiles of a Uniform(0,max) distribution are ~linear in p")
+	return nil
+}
+
+func init() {
+	register(Figure{ID: "F01", Title: "Time series of total contacts (1-minute bins)", Render: renderFig01})
+	register(Figure{ID: "F07", Title: "CDF of per-node contact counts", Render: renderFig07})
+}

@@ -1,0 +1,332 @@
+package figures
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/dtnsim"
+	"repro/internal/forward"
+	"repro/internal/pathenum"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/tracegen"
+)
+
+// Figure 9: average delay vs success rate, per algorithm and dataset.
+
+// PerfRow is one (dataset, algorithm) performance point.
+type PerfRow struct {
+	Dataset   tracegen.Dataset
+	Algorithm string
+	Success   float64
+	MeanDelay float64
+}
+
+// ComputeFig09 runs the multi-seed simulation sweep on every dataset.
+func (h *Harness) ComputeFig09() ([]PerfRow, error) {
+	var out []PerfRow
+	for _, d := range h.P.Datasets {
+		rs, err := h.Simulate(d)
+		if err != nil {
+			return nil, err
+		}
+		for _, name := range AlgorithmOrder {
+			r := rs[name]
+			out = append(out, PerfRow{
+				Dataset:   d,
+				Algorithm: name,
+				Success:   r.SuccessRate(),
+				MeanDelay: r.MeanDelay(),
+			})
+		}
+	}
+	return out, nil
+}
+
+func renderFig09(h *Harness, w io.Writer) error {
+	rows, err := h.ComputeFig09()
+	if err != nil {
+		return err
+	}
+	var cur tracegen.Dataset = -1
+	for _, r := range rows {
+		if r.Dataset != cur {
+			cur = r.Dataset
+			fmt.Fprintf(w, "%s\n", r.Dataset)
+			fmt.Fprintf(w, "  %-20s %10s %14s\n", "algorithm", "success", "avg delay (s)")
+		}
+		fmt.Fprintf(w, "  %-20s %10.3f %14.0f\n", r.Algorithm, r.Success, r.MeanDelay)
+	}
+	fmt.Fprintln(w, "paper check: all algorithms cluster tightly; epidemic is the best envelope")
+	return nil
+}
+
+// Figure 10: full delay distributions per algorithm.
+
+// DelayDist is one algorithm's delay distribution on one dataset.
+type DelayDist struct {
+	Dataset   tracegen.Dataset
+	Algorithm string
+	ECDF      *stats.ECDF
+}
+
+// ComputeFig10 builds delay ECDFs on the morning datasets (the paper
+// shows Infocom 9-12 and CoNext 9-12).
+func (h *Harness) ComputeFig10() ([]DelayDist, error) {
+	var out []DelayDist
+	for _, d := range h.fig10Datasets() {
+		rs, err := h.Simulate(d)
+		if err != nil {
+			return nil, err
+		}
+		for _, name := range AlgorithmOrder {
+			delays := rs[name].Delays()
+			if len(delays) == 0 {
+				continue
+			}
+			e, err := stats.NewECDF(delays)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, DelayDist{Dataset: d, Algorithm: name, ECDF: e})
+		}
+	}
+	return out, nil
+}
+
+func (h *Harness) fig10Datasets() []tracegen.Dataset {
+	var out []tracegen.Dataset
+	for _, d := range h.P.Datasets {
+		if d == tracegen.Infocom0912 || d == tracegen.Conext0912 {
+			out = append(out, d)
+		}
+	}
+	if len(out) == 0 {
+		out = h.P.Datasets[:1]
+	}
+	return out
+}
+
+func renderFig10(h *Harness, w io.Writer) error {
+	dists, err := h.ComputeFig10()
+	if err != nil {
+		return err
+	}
+	var cur tracegen.Dataset = -1
+	for _, d := range dists {
+		if d.Dataset != cur {
+			cur = d.Dataset
+			fmt.Fprintf(w, "%s: delay quantiles (s)\n", d.Dataset)
+			fmt.Fprintf(w, "  %-20s %8s %8s %8s %8s\n", "algorithm", "p25", "p50", "p75", "p90")
+		}
+		fmt.Fprintf(w, "  %-20s %8.0f %8.0f %8.0f %8.0f\n", d.Algorithm,
+			d.ECDF.Quantile(0.25), d.ECDF.Quantile(0.50), d.ECDF.Quantile(0.75), d.ECDF.Quantile(0.90))
+	}
+	fmt.Fprintln(w, "paper check: distributions nearly coincide across algorithms")
+	return nil
+}
+
+// Figure 12: for individual messages, where in the arrival burst
+// sequence each algorithm's delivery lands.
+
+// MessageBursts describes one message's arrival bursts and the delay
+// achieved by each algorithm.
+type MessageBursts struct {
+	Msg    pathenum.Message
+	Bursts []pathenum.StepCount // arrivals per step, offset from T1
+	T1     float64
+	// AlgDelay maps algorithm name to its delivery delay (NaN if
+	// undelivered).
+	AlgDelay map[string]float64
+}
+
+// ComputeFig12 picks up to two messages with multi-burst explosions
+// from the first dataset's study and runs every algorithm on each.
+func (h *Harness) ComputeFig12() ([]MessageBursts, error) {
+	st, err := h.Study(h.P.Datasets[0])
+	if err != nil {
+		return nil, err
+	}
+	var out []MessageBursts
+	for _, r := range st.Results {
+		if len(out) == 2 {
+			break
+		}
+		counts := r.ArrivalCounts()
+		if len(counts) < 3 { // want a multi-burst explosion
+			continue
+		}
+		t1, _ := r.T1()
+		mb := MessageBursts{Msg: r.Msg, Bursts: counts, T1: t1, AlgDelay: map[string]float64{}}
+		for _, alg := range forward.PaperSet() {
+			sim, err := dtnsim.Run(dtnsim.Config{
+				Trace:     st.Trace,
+				Algorithm: alg,
+				Messages:  []dtnsim.Message{{Src: r.Msg.Src, Dst: r.Msg.Dst, Start: r.Msg.Start}},
+			})
+			if err != nil {
+				return nil, err
+			}
+			if o := sim.Outcomes[0]; o.Delivered {
+				mb.AlgDelay[alg.Name()] = o.Delay
+			} else {
+				mb.AlgDelay[alg.Name()] = math.NaN()
+			}
+		}
+		out = append(out, mb)
+	}
+	return out, nil
+}
+
+func renderFig12(h *Harness, w io.Writer) error {
+	msgs, err := h.ComputeFig12()
+	if err != nil {
+		return err
+	}
+	if len(msgs) == 0 {
+		fmt.Fprintln(w, "(no multi-burst messages in the sample)")
+		return nil
+	}
+	for _, m := range msgs {
+		fmt.Fprintf(w, "message %d -> %d at t=%.0f (T1 = %.0f s)\n", m.Msg.Src, m.Msg.Dst, m.Msg.Start, m.T1)
+		fmt.Fprintf(w, "  %14s %10s\n", "since T1 (s)", "paths")
+		for i, b := range m.Bursts {
+			if i >= 8 {
+				fmt.Fprintf(w, "  ... %d more bursts\n", len(m.Bursts)-8)
+				break
+			}
+			fmt.Fprintf(w, "  %14.0f %10d\n", offsetSince(b.Time, m), b.Count)
+		}
+		fmt.Fprintf(w, "  %-20s %16s\n", "algorithm", "delay since T1 (s)")
+		for _, name := range AlgorithmOrder {
+			d := m.AlgDelay[name]
+			if math.IsNaN(d) {
+				fmt.Fprintf(w, "  %-20s %16s\n", name, "undelivered")
+				continue
+			}
+			fmt.Fprintf(w, "  %-20s %16.0f\n", name, d-m.T1)
+		}
+	}
+	fmt.Fprintln(w, "paper check: algorithms deliver within the first few bursts after T1")
+	return nil
+}
+
+func offsetSince(arrivalTime float64, m MessageBursts) float64 {
+	return arrivalTime - m.Msg.Start - m.T1
+}
+
+// Figure 13: per pair type, per algorithm performance.
+
+// PairPerfRow is one (pair type, algorithm) performance point.
+type PairPerfRow struct {
+	Type      trace.PairType
+	Algorithm string
+	Success   float64
+	MeanDelay float64
+	N         int
+}
+
+// ComputeFig13 splits the first dataset's simulation by pair type.
+func (h *Harness) ComputeFig13() ([]PairPerfRow, error) {
+	d := h.P.Datasets[0]
+	rs, err := h.Simulate(d)
+	if err != nil {
+		return nil, err
+	}
+	cl := trace.NewClassifier(h.Trace(d))
+	var out []PairPerfRow
+	for _, pt := range trace.PairTypes {
+		for _, name := range AlgorithmOrder {
+			part := rs[name].ByPairType(cl)[pt]
+			out = append(out, PairPerfRow{
+				Type:      pt,
+				Algorithm: name,
+				Success:   part.SuccessRate(),
+				MeanDelay: part.MeanDelay(),
+				N:         len(part.Outcomes),
+			})
+		}
+	}
+	return out, nil
+}
+
+func renderFig13(h *Harness, w io.Writer) error {
+	rows, err := h.ComputeFig13()
+	if err != nil {
+		return err
+	}
+	cur := trace.PairType(-1)
+	for _, r := range rows {
+		if r.Type != cur {
+			cur = r.Type
+			fmt.Fprintf(w, "%s (n=%d)\n", r.Type, r.N)
+			fmt.Fprintf(w, "  %-20s %10s %14s\n", "algorithm", "success", "avg delay (s)")
+		}
+		fmt.Fprintf(w, "  %-20s %10.3f %14.0f\n", r.Algorithm, r.Success, r.MeanDelay)
+	}
+	fmt.Fprintln(w, "paper check: performance depends on pair type far more than on algorithm;")
+	fmt.Fprintln(w, "oracle algorithms (Greedy Total, DP) gain most when an endpoint is 'out'")
+	return nil
+}
+
+// Extension X1: forwarding cost. The paper's §7 leaves cost open; this
+// experiment measures transmissions per message for every algorithm on
+// the first dataset, showing the price of the near-identical
+// delay/success results of Fig 9.
+
+// CostRow is one algorithm's delivery cost.
+type CostRow struct {
+	Algorithm   string
+	Success     float64
+	TxPerMsg    float64
+	TxDelivered float64 // transmissions per delivered message
+}
+
+// ComputeX1 derives cost from the cached simulation sweep.
+func (h *Harness) ComputeX1() ([]CostRow, error) {
+	rs, err := h.Simulate(h.P.Datasets[0])
+	if err != nil {
+		return nil, err
+	}
+	var out []CostRow
+	for _, name := range AlgorithmOrder {
+		r := rs[name]
+		delivered := 0
+		for _, o := range r.Outcomes {
+			if o.Delivered {
+				delivered++
+			}
+		}
+		row := CostRow{Algorithm: name, Success: r.SuccessRate()}
+		if n := len(r.Outcomes); n > 0 {
+			row.TxPerMsg = float64(r.Transmissions) / float64(n)
+		}
+		if delivered > 0 {
+			row.TxDelivered = float64(r.Transmissions) / float64(delivered)
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+func renderX1(h *Harness, w io.Writer) error {
+	rows, err := h.ComputeX1()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-20s %10s %12s %14s\n", "algorithm", "success", "txs/msg", "txs/delivered")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-20s %10.3f %12.1f %14.1f\n", r.Algorithm, r.Success, r.TxPerMsg, r.TxDelivered)
+	}
+	fmt.Fprintln(w, "extension (paper §7 future work): similar delay/success, very different cost")
+	return nil
+}
+
+func init() {
+	register(Figure{ID: "F09", Title: "Average delay vs success rate per algorithm", Render: renderFig09})
+	register(Figure{ID: "X1", Title: "Extension: forwarding cost (transmissions per message)", Render: renderX1})
+	register(Figure{ID: "F10", Title: "Delay distributions per algorithm", Render: renderFig10})
+	register(Figure{ID: "F12", Title: "Paths taken by forwarding algorithms (two messages)", Render: renderFig12})
+	register(Figure{ID: "F13", Title: "Performance by source-destination pair type", Render: renderFig13})
+}

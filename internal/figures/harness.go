@@ -1,0 +1,231 @@
+// Package figures regenerates every figure of the paper's evaluation
+// as printed tables and series: Fig 1 (contact time series), Figs 4-6
+// and 8 (path explosion), Fig 7 (contact-count CDFs), Figs 9-13
+// (forwarding-algorithm performance), Figs 14-15 (hop-rate structure),
+// plus the analytic-model validation experiments (A1, A2) and the
+// ablations called out in DESIGN.md (AB1-AB4).
+//
+// A Harness caches the generated datasets, the per-message enumeration
+// results, and the simulation results, so regenerating all figures
+// costs one enumeration study and one simulation sweep per dataset.
+package figures
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+
+	"repro/internal/dtnsim"
+	"repro/internal/forward"
+	"repro/internal/pathenum"
+	"repro/internal/trace"
+	"repro/internal/tracegen"
+)
+
+// Params scales the experiment harness. The zero value selects
+// paper-scale defaults; tests and benchmarks use reduced values.
+type Params struct {
+	// Messages is the number of random messages enumerated per dataset
+	// for the path-explosion figures (the paper does not state its
+	// sample size). Default 40, which keeps a full harness run under
+	// half an hour on one core.
+	Messages int
+	// K is the explosion threshold (paper: 2000 paths).
+	K int
+	// SimRuns is the number of independent workload seeds averaged in
+	// the forwarding figures (paper: 10).
+	SimRuns int
+	// MsgRate is the workload rate in messages/second (paper: 1 per 4 s).
+	MsgRate float64
+	// GenFraction is the fraction of the trace during which messages
+	// are generated (paper: first 2 of 3 hours).
+	GenFraction float64
+	// Seed drives message sampling.
+	Seed int64
+	// Datasets lists the datasets to analyze; nil means all four.
+	Datasets []tracegen.Dataset
+}
+
+func (p Params) withDefaults() Params {
+	if p.Messages == 0 {
+		p.Messages = 40
+	}
+	if p.K == 0 {
+		p.K = 2000
+	}
+	if p.SimRuns == 0 {
+		p.SimRuns = 10
+	}
+	if p.MsgRate == 0 {
+		p.MsgRate = 0.25
+	}
+	if p.GenFraction == 0 {
+		p.GenFraction = 2.0 / 3.0
+	}
+	if p.Datasets == nil {
+		p.Datasets = tracegen.Datasets[:]
+	}
+	return p
+}
+
+// Harness caches datasets and computed studies across figures.
+type Harness struct {
+	P Params
+
+	traces  map[tracegen.Dataset]*trace.Trace
+	studies map[tracegen.Dataset]*Study
+	sims    map[tracegen.Dataset]map[string]*dtnsim.Result
+}
+
+// NewHarness prepares a harness with the given parameters.
+func NewHarness(p Params) *Harness {
+	return &Harness{
+		P:       p.withDefaults(),
+		traces:  make(map[tracegen.Dataset]*trace.Trace),
+		studies: make(map[tracegen.Dataset]*Study),
+		sims:    make(map[tracegen.Dataset]map[string]*dtnsim.Result),
+	}
+}
+
+// Trace returns (generating on first use) a named dataset.
+func (h *Harness) Trace(d tracegen.Dataset) *trace.Trace {
+	if t, ok := h.traces[d]; ok {
+		return t
+	}
+	t := tracegen.MustGenerate(d)
+	h.traces[d] = t
+	return t
+}
+
+// Study holds the enumeration results of one dataset's message sample.
+type Study struct {
+	Dataset tracegen.Dataset
+	Trace   *trace.Trace
+	Cl      *trace.Classifier
+	Results []*pathenum.Result
+}
+
+// Summaries returns the per-message explosion summaries at threshold n.
+func (s *Study) Summaries(n int) []pathenum.Explosion {
+	out := make([]pathenum.Explosion, 0, len(s.Results))
+	for _, r := range s.Results {
+		out = append(out, r.ExplosionSummary(n))
+	}
+	return out
+}
+
+// Study returns (computing on first use) the enumeration study of a
+// dataset: Params.Messages random messages with uniform endpoints and
+// start times in the generation window.
+func (h *Harness) Study(d tracegen.Dataset) (*Study, error) {
+	if s, ok := h.studies[d]; ok {
+		return s, nil
+	}
+	tr := h.Trace(d)
+	enum, err := pathenum.NewEnumerator(tr, pathenum.Options{K: h.P.K})
+	if err != nil {
+		return nil, fmt.Errorf("figures: %v: %w", d, err)
+	}
+	rng := rand.New(rand.NewSource(h.P.Seed + int64(d)*1000))
+	genHorizon := tr.Horizon * h.P.GenFraction
+	st := &Study{Dataset: d, Trace: tr, Cl: trace.NewClassifier(tr)}
+	for i := 0; i < h.P.Messages; i++ {
+		src := trace.NodeID(rng.Intn(tr.NumNodes))
+		dst := trace.NodeID(rng.Intn(tr.NumNodes - 1))
+		if dst >= src {
+			dst++
+		}
+		msg := pathenum.Message{Src: src, Dst: dst, Start: rng.Float64() * genHorizon}
+		res, err := enum.Enumerate(msg)
+		if err != nil {
+			return nil, fmt.Errorf("figures: %v message %d: %w", d, i, err)
+		}
+		st.Results = append(st.Results, res)
+	}
+	h.studies[d] = st
+	return st, nil
+}
+
+// Simulate returns (running on first use) the merged multi-seed
+// simulation results of every paper algorithm on a dataset, keyed by
+// algorithm name.
+func (h *Harness) Simulate(d tracegen.Dataset) (map[string]*dtnsim.Result, error) {
+	if rs, ok := h.sims[d]; ok {
+		return rs, nil
+	}
+	tr := h.Trace(d)
+	out := make(map[string]*dtnsim.Result)
+	for _, alg := range forward.PaperSet() {
+		var runs []*dtnsim.Result
+		for run := 0; run < h.P.SimRuns; run++ {
+			msgs := workload(tr, h.P, h.P.Seed+int64(run))
+			r, err := dtnsim.Run(dtnsim.Config{Trace: tr, Algorithm: alg, Messages: msgs})
+			if err != nil {
+				return nil, fmt.Errorf("figures: simulate %v/%s: %w", d, alg.Name(), err)
+			}
+			runs = append(runs, r)
+		}
+		out[alg.Name()] = dtnsim.Merge(runs...)
+	}
+	h.sims[d] = out
+	return out, nil
+}
+
+func workload(tr *trace.Trace, p Params, seed int64) []dtnsim.Message {
+	return dtnsim.Workload(tr, p.MsgRate, tr.Horizon*p.GenFraction, seed)
+}
+
+// AlgorithmOrder is the presentation order used across figures.
+var AlgorithmOrder = []string{
+	"Epidemic", "FRESH", "Greedy", "Greedy Total", "Greedy Online", "Dynamic Programming",
+}
+
+// Figure is one renderable experiment.
+type Figure struct {
+	ID    string
+	Title string
+	// Render writes the figure's rows/series to w.
+	Render func(h *Harness, w io.Writer) error
+}
+
+var registry []Figure
+
+func register(f Figure) { registry = append(registry, f) }
+
+// All returns every registered figure in id order.
+func All() []Figure {
+	out := append([]Figure(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Lookup finds a figure by id.
+func Lookup(id string) (Figure, bool) {
+	for _, f := range registry {
+		if f.ID == id {
+			return f, true
+		}
+	}
+	return Figure{}, false
+}
+
+// RenderAll renders every figure to w.
+func (h *Harness) RenderAll(w io.Writer) error {
+	for _, f := range All() {
+		if err := h.RenderOne(f, w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RenderOne renders a single figure with its header.
+func (h *Harness) RenderOne(f Figure, w io.Writer) error {
+	fmt.Fprintf(w, "=== %s: %s ===\n", f.ID, f.Title)
+	if err := f.Render(h, w); err != nil {
+		return fmt.Errorf("figures: %s: %w", f.ID, err)
+	}
+	fmt.Fprintln(w)
+	return nil
+}

@@ -1,0 +1,160 @@
+// Package forward implements the forwarding algorithms evaluated in
+// the paper's §6 — Epidemic, FRESH, Greedy, Greedy Total, Greedy
+// Online, and Dynamic Programming (MEED) — plus several well-known
+// extensions used for ablations (Direct Delivery, Spray and Wait,
+// PRoPHET).
+//
+// Algorithms are pure decision rules over a View: the contact
+// knowledge a node could hold at a point in simulated time, plus the
+// two oracle tables (whole-trace contact totals and MEED distances)
+// used by the future-knowledge algorithms. The trace-driven simulator
+// in package dtnsim owns and updates the View.
+package forward
+
+import (
+	"math"
+
+	"repro/internal/trace"
+)
+
+// View is the contact knowledge shared by all nodes at one instant of
+// a simulation. The paper's algorithms assume nodes can learn each
+// other's contact history on encounter; exposing one global view is
+// the standard simplification (information is only ever *used* at
+// encounters).
+type View struct {
+	numNodes int
+
+	// lastEnc[a][b] is the most recent time a and b were in contact,
+	// or -Inf if they have not met yet.
+	lastEnc [][]float64
+	// encCount[a][b] is the number of contacts between a and b so far.
+	encCount [][]int
+	// soFar[a] is a's total number of contacts so far.
+	soFar []int
+
+	// totals[a] is a's total contacts over the whole trace (oracle).
+	totals []int
+	// meedDist[a][b] is the expected-delay distance from a to b under
+	// the MEED metric computed over the whole trace (oracle); +Inf if
+	// unreachable.
+	meedDist [][]float64
+}
+
+// NewView allocates a View for n nodes with empty history and no
+// oracle tables (install them with SetOracle).
+func NewView(n int) *View {
+	v := &View{
+		numNodes: n,
+		lastEnc:  make([][]float64, n),
+		encCount: make([][]int, n),
+		soFar:    make([]int, n),
+	}
+	for i := 0; i < n; i++ {
+		v.lastEnc[i] = make([]float64, n)
+		for j := range v.lastEnc[i] {
+			v.lastEnc[i][j] = math.Inf(-1)
+		}
+		v.encCount[i] = make([]int, n)
+	}
+	return v
+}
+
+// NumNodes returns the population size.
+func (v *View) NumNodes() int { return v.numNodes }
+
+// Observe records a contact between a and b at time now. The
+// simulator calls this at every contact start, before forwarding
+// decisions for that contact are made.
+func (v *View) Observe(a, b trace.NodeID, now float64) {
+	v.lastEnc[a][b] = now
+	v.lastEnc[b][a] = now
+	v.encCount[a][b]++
+	v.encCount[b][a]++
+	v.soFar[a]++
+	v.soFar[b]++
+}
+
+// LastEncounter returns the most recent contact time between a and b,
+// or -Inf if they have not met.
+func (v *View) LastEncounter(a, b trace.NodeID) float64 { return v.lastEnc[a][b] }
+
+// EncounterCount returns the number of contacts between a and b so far.
+func (v *View) EncounterCount(a, b trace.NodeID) int { return v.encCount[a][b] }
+
+// ContactsSoFar returns a's total number of contacts so far.
+func (v *View) ContactsSoFar(a trace.NodeID) int { return v.soFar[a] }
+
+// TotalContacts returns a's whole-trace contact total (oracle); zero
+// before SetOracle.
+func (v *View) TotalContacts(a trace.NodeID) int {
+	if v.totals == nil {
+		return 0
+	}
+	return v.totals[a]
+}
+
+// MEEDDistance returns the oracle expected-delay distance from a to b,
+// or +Inf when unreachable or before SetOracle.
+func (v *View) MEEDDistance(a, b trace.NodeID) float64 {
+	if v.meedDist == nil {
+		return math.Inf(1)
+	}
+	return v.meedDist[a][b]
+}
+
+// SetOracle installs the future-knowledge tables used by Greedy Total
+// and Dynamic Programming, computed from the whole trace.
+func (v *View) SetOracle(tr *trace.Trace) {
+	v.totals = tr.ContactCounts()
+	v.meedDist = MEEDDistances(tr)
+}
+
+// MEEDDistances computes the Minimum Estimated Expected Delay metric
+// of Jones et al. over a whole trace: the expected waiting time for
+// the next i-j contact from a uniformly random instant is estimated as
+// horizon/(n_ij+1) for a pair with n_ij contacts (the mean gap between
+// renewals of a Poisson-like process), and all-pairs expected-delay
+// distances follow by Floyd-Warshall. Pairs that never meet have
+// infinite direct delay.
+func MEEDDistances(tr *trace.Trace) [][]float64 {
+	n := tr.NumNodes
+	dist := make([][]float64, n)
+	for i := range dist {
+		dist[i] = make([]float64, n)
+		for j := range dist[i] {
+			if i != j {
+				dist[i][j] = math.Inf(1)
+			}
+		}
+	}
+	counts := make([][]int, n)
+	for i := range counts {
+		counts[i] = make([]int, n)
+	}
+	for _, c := range tr.Contacts() {
+		counts[c.A][c.B]++
+		counts[c.B][c.A]++
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && counts[i][j] > 0 {
+				dist[i][j] = tr.Horizon / float64(counts[i][j]+1)
+			}
+		}
+	}
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			dik := dist[i][k]
+			if math.IsInf(dik, 1) {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if d := dik + dist[k][j]; d < dist[i][j] {
+					dist[i][j] = d
+				}
+			}
+		}
+	}
+	return dist
+}

@@ -1,0 +1,450 @@
+package pathenum
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/stgraph"
+	"repro/internal/trace"
+)
+
+// Message identifies one forwarding problem: deliver from Src to Dst a
+// message created at time Start (seconds from trace origin).
+type Message struct {
+	Src, Dst trace.NodeID
+	Start    float64
+}
+
+// Options tunes the enumerator.
+type Options struct {
+	// Delta is the space-time discretization step in seconds.
+	// Zero means stgraph.DefaultDelta (the paper's 10 s).
+	Delta float64
+
+	// K is the arrival budget: enumeration stops at the end of the
+	// first step by which K paths in total have reached the
+	// destination. Zero means the paper's 2000.
+	K int
+
+	// TableWidth caps the number of shortest valid paths kept per
+	// node. Zero means K, matching the paper (which uses the same k
+	// for the table and the stop rule). Narrower tables trade
+	// completeness of the count for speed (ablation AB2).
+	TableWidth int
+
+	// MaxArrivals hard-caps the number of recorded arrivals; once hit,
+	// enumeration stops immediately (even mid-step). This bounds the
+	// overshoot in the final step, where a dense contact component can
+	// deliver every table path at once. Zero means 4·K, which is
+	// comfortably beyond the paper's T2000 measurement point.
+	MaxArrivals int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Delta == 0 {
+		o.Delta = stgraph.DefaultDelta
+	}
+	if o.K == 0 {
+		o.K = 2000
+	}
+	if o.TableWidth == 0 {
+		o.TableWidth = o.K
+	}
+	if o.MaxArrivals == 0 {
+		o.MaxArrivals = 4 * o.K
+	}
+	return o
+}
+
+func (o Options) validate() error {
+	if o.Delta < 0 {
+		return fmt.Errorf("pathenum: negative delta %g", o.Delta)
+	}
+	if o.K < 0 || o.TableWidth < 0 || o.MaxArrivals < 0 {
+		return fmt.Errorf("pathenum: negative K, TableWidth or MaxArrivals")
+	}
+	return nil
+}
+
+// ErrTooManyNodes is returned when the trace population exceeds the
+// enumerator's fixed bitset capacity.
+var ErrTooManyNodes = errors.New("pathenum: trace exceeds 128 nodes")
+
+// Enumerator enumerates valid paths for messages over one trace. The
+// space-time graph is built once and shared across messages.
+type Enumerator struct {
+	tr  *trace.Trace
+	g   *stgraph.Graph
+	opt Options
+
+	// Scratch reused across Enumerate calls (an Enumerator is not safe
+	// for concurrent use).
+	visited  []int // BFS epoch marks
+	epoch    int
+	mergeBuf []*Path
+}
+
+// NewEnumerator prepares path enumeration over tr.
+func NewEnumerator(tr *trace.Trace, opt Options) (*Enumerator, error) {
+	opt = opt.withDefaults()
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	if tr.NumNodes > maxNodes {
+		return nil, ErrTooManyNodes
+	}
+	g, err := stgraph.New(tr, opt.Delta)
+	if err != nil {
+		return nil, err
+	}
+	return &Enumerator{
+		tr:      tr,
+		g:       g,
+		opt:     opt,
+		visited: make([]int, tr.NumNodes),
+	}, nil
+}
+
+// Graph exposes the underlying space-time graph.
+func (e *Enumerator) Graph() *stgraph.Graph { return e.g }
+
+// Result collects the delivered paths of one message enumeration.
+type Result struct {
+	Msg   Message
+	Delta float64
+
+	// Arrivals holds every delivered valid path in arrival order
+	// (non-decreasing step). Paths arriving within the same step share
+	// an arrival time; their relative order is arbitrary.
+	Arrivals []*Path
+
+	// Exhausted is true when enumeration stopped because the arrival
+	// budget K was met, i.e. the path explosion was fully observed.
+	// False means the trace ended (or all paths were invalidated by a
+	// direct source-destination encounter) first.
+	Exhausted bool
+}
+
+// Enumerate runs the Figure 3 dynamic program for one message.
+func (e *Enumerator) Enumerate(msg Message) (*Result, error) {
+	n := e.tr.NumNodes
+	if msg.Src < 0 || int(msg.Src) >= n || msg.Dst < 0 || int(msg.Dst) >= n {
+		return nil, fmt.Errorf("pathenum: message endpoints (%d,%d) out of range [0,%d)", msg.Src, msg.Dst, n)
+	}
+	if msg.Src == msg.Dst {
+		return nil, fmt.Errorf("pathenum: source equals destination (%d)", msg.Src)
+	}
+	if msg.Start < 0 || msg.Start >= e.tr.Horizon {
+		return nil, fmt.Errorf("pathenum: start time %g outside [0,%g)", msg.Start, e.tr.Horizon)
+	}
+
+	res := &Result{Msg: msg, Delta: e.g.Delta}
+	table := make([][]*Path, n)
+	s0 := e.g.StepOf(msg.Start)
+	table[msg.Src] = []*Path{newSource(msg.Src, s0)}
+
+	cands := make([][]*Path, n)
+	var queue []*Path
+	thresh := make([]int, n)
+
+	for s := s0; s < e.g.Steps; s++ {
+		// Compute, for each node with contacts, the largest resident
+		// hop count that could still contribute this step: a path p at
+		// node i can only matter if some reachable node v could accept
+		// an extension (its table has room or holds a longer path) at
+		// hop count p.Hops + dist(i, v), or if the destination is in
+		// i's component. Everything above the threshold is skipped
+		// wholesale — this keeps the saturated steady state (every
+		// table full of short paths) cheap between explosion onset and
+		// trace end.
+		e.computeThresholds(s, msg.Dst, table, thresh)
+
+		// Phase 1: extend every resident path through the zero-weight
+		// closure of this step, collecting candidates and arrivals.
+		for i := 0; i < n; i++ {
+			paths := table[i]
+			if len(paths) == 0 || thresh[i] == skipAll {
+				continue
+			}
+			bound := thresh[i]
+			for _, p := range paths {
+				// Tables are sorted by hop count: once one resident
+				// path is bounded out, the rest are too.
+				if p.Hops >= bound {
+					break
+				}
+				queue = e.extendBFS(res, p, s, queue, table, cands, thresh)
+				if len(res.Arrivals) >= e.opt.MaxArrivals {
+					res.Exhausted = true
+					return res, nil
+				}
+			}
+		}
+
+		// Phase 2: merge candidates into the per-node tables, keeping
+		// the TableWidth shortest (by hop count; existing paths win
+		// ties, preserving shorter durations).
+		for i := 0; i < n; i++ {
+			if len(cands[i]) > 0 {
+				table[i] = e.mergeShortest(table[i], cands[i])
+				cands[i] = cands[i][:0]
+			}
+		}
+
+		// Phase 3: first preference. Every node in direct contact with
+		// the destination this step has just delivered; any table path
+		// containing such a node could only deliver strictly later and
+		// is invalid (§4.1).
+		if dn := e.g.Neighbors(s, msg.Dst); len(dn) > 0 {
+			var delivered nodeSet
+			for _, d := range dn {
+				delivered = delivered.with(d)
+			}
+			alive := false
+			for i := 0; i < n; i++ {
+				table[i] = pruneContaining(table[i], delivered)
+				alive = alive || len(table[i]) > 0
+			}
+			if !alive {
+				// Every surviving path contained a node that met the
+				// destination (e.g. the source itself); no further
+				// valid path can exist.
+				return res, nil
+			}
+		}
+
+		if len(res.Arrivals) >= e.opt.K {
+			res.Exhausted = true
+			return res, nil
+		}
+	}
+	return res, nil
+}
+
+// Sentinel thresholds: skipAll marks nodes whose paths cannot
+// contribute at all this step (no contacts); extendAll marks nodes in
+// the destination's component, whose paths always extend (arrivals).
+const (
+	skipAll   = -1 << 30
+	extendAll = int(^uint(0) >> 1)
+)
+
+// computeThresholds fills thresh[i] with the strict upper bound on the
+// hop count of resident paths at node i worth extending at step s: a
+// path p contributes only if some node v in i's component could accept
+// a table insertion at p.Hops + dist(i, v) hops. cap(v) is the hop
+// count of v's worst table entry (unbounded when the table has room);
+// the threshold is max over v of cap(v) − dist(i, v). Nodes in the
+// destination's component always extend (deliveries bypass tables).
+func (e *Enumerator) computeThresholds(s int, dst trace.NodeID, table [][]*Path, thresh []int) {
+	for i := range thresh {
+		thresh[i] = skipAll
+	}
+	var comp, queue []trace.NodeID
+	for start := 0; start < len(thresh); start++ {
+		if thresh[start] != skipAll || len(e.g.Neighbors(s, trace.NodeID(start))) == 0 {
+			continue
+		}
+		// Collect the component of start.
+		comp = comp[:0]
+		queue = append(queue[:0], trace.NodeID(start))
+		thresh[start] = skipAll + 1 // mark visited
+		hasDst := false
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			comp = append(comp, cur)
+			if cur == dst {
+				hasDst = true
+			}
+			for _, nb := range e.g.Neighbors(s, cur) {
+				if thresh[nb] == skipAll {
+					thresh[nb] = skipAll + 1
+					queue = append(queue, nb)
+				}
+			}
+		}
+		if hasDst {
+			for _, v := range comp {
+				thresh[v] = extendAll
+			}
+			continue
+		}
+		// Per-member threshold via one BFS per member (components are
+		// small: typically a handful of nodes).
+		for _, src := range comp {
+			queue = append(queue[:0], src)
+			best := skipAll
+			depth := make(map[trace.NodeID]int, len(comp))
+			depth[src] = 0
+			for len(queue) > 0 {
+				cur := queue[0]
+				queue = queue[1:]
+				d := depth[cur]
+				if cur != src {
+					capacity := extendAll
+					if t := table[cur]; len(t) >= e.opt.TableWidth {
+						capacity = t[len(t)-1].Hops
+					}
+					if capacity == extendAll {
+						best = extendAll
+						break
+					}
+					if b := capacity - d; b > best {
+						best = b
+					}
+				}
+				for _, nb := range e.g.Neighbors(s, cur) {
+					if _, ok := depth[nb]; !ok {
+						depth[nb] = d + 1
+						queue = append(queue, nb)
+					}
+				}
+			}
+			thresh[src] = best
+		}
+	}
+}
+
+// extendBFS extends path p (resident at p's final node) through the
+// zero-weight closure at step s. Newly reached nodes become candidate
+// table entries; reaching the destination records an arrival. A child
+// path is only materialized when its target table accepts it or a
+// deeper acceptance is still possible under the per-node thresholds —
+// hopeless subtrees cost no allocation. The passed queue's backing
+// array is reused; the (emptied) queue is returned.
+func (e *Enumerator) extendBFS(res *Result, p *Path, s int, queue []*Path, table, cands [][]*Path, thresh []int) []*Path {
+	e.epoch++
+	epoch := e.epoch
+	dst := res.Msg.Dst
+	e.visited[p.Node] = epoch
+	queue = append(queue[:0], p)
+	delivered := false
+	for len(queue) > 0 {
+		q := queue[0]
+		queue = queue[1:]
+		for _, nb := range e.g.Neighbors(s, q.Node) {
+			if nb == dst {
+				if !delivered {
+					delivered = true
+					res.Arrivals = append(res.Arrivals, q.extend(dst, s))
+				}
+				continue
+			}
+			if e.visited[nb] == epoch || p.members.has(nb) {
+				continue
+			}
+			e.visited[nb] = epoch
+			childHops := q.Hops + 1
+			// The merge keeps existing paths on hop ties, so a full
+			// table only accepts strictly shorter candidates.
+			t := table[nb]
+			accept := len(t) < e.opt.TableWidth || t[len(t)-1].Hops > childHops
+			deeper := thresh[nb] == extendAll || thresh[nb] > childHops
+			if !accept && !deeper {
+				continue
+			}
+			child := q.extend(nb, s)
+			if accept {
+				cands[nb] = append(cands[nb], child)
+			}
+			if deeper {
+				queue = append(queue, child)
+			}
+		}
+	}
+	return queue[:0]
+}
+
+// mergeShortest merges existing (sorted by hops) with cands (creation
+// order) keeping the width shortest by hop count; existing paths win
+// ties. The merge runs through a reused scratch buffer and writes back
+// into existing's storage, so a node's table allocates at most once.
+func (e *Enumerator) mergeShortest(existing, cands []*Path) []*Path {
+	width := e.opt.TableWidth
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].Hops < cands[j].Hops })
+	buf := e.mergeBuf[:0]
+	i, j := 0, 0
+	for len(buf) < width && (i < len(existing) || j < len(cands)) {
+		if j >= len(cands) || (i < len(existing) && existing[i].Hops <= cands[j].Hops) {
+			buf = append(buf, existing[i])
+			i++
+		} else {
+			buf = append(buf, cands[j])
+			j++
+		}
+	}
+	e.mergeBuf = buf
+	existing = append(existing[:0], buf...)
+	return existing
+}
+
+// pruneContaining removes paths intersecting the delivered node set,
+// in place.
+func pruneContaining(paths []*Path, delivered nodeSet) []*Path {
+	out := paths[:0]
+	for _, p := range paths {
+		if !p.members.intersects(delivered) {
+			out = append(out, p)
+		}
+	}
+	// Release dropped tails for the garbage collector.
+	for i := len(out); i < len(paths); i++ {
+		paths[i] = nil
+	}
+	return out
+}
+
+// ArrivalTime returns the delivery time of a path produced by
+// Enumerate: the end of the step in which it reached the destination.
+func (r *Result) ArrivalTime(p *Path) float64 {
+	return float64(p.Step+1) * r.Delta
+}
+
+// NumPaths returns the number of delivered paths observed.
+func (r *Result) NumPaths() int { return len(r.Arrivals) }
+
+// Tn returns the duration from message creation to the arrival of the
+// n-th path (1-based), and whether at least n paths arrived. T(1) is
+// the paper's optimal path duration.
+func (r *Result) Tn(n int) (float64, bool) {
+	if n < 1 || n > len(r.Arrivals) {
+		return 0, false
+	}
+	return r.ArrivalTime(r.Arrivals[n-1]) - r.Msg.Start, true
+}
+
+// T1 returns the optimal path duration, if any path was found.
+func (r *Result) T1() (float64, bool) { return r.Tn(1) }
+
+// TimeToExplosion returns TE = Tn − T1 for the given n (the paper uses
+// n = 2000), and whether at least n paths arrived.
+func (r *Result) TimeToExplosion(n int) (float64, bool) {
+	tn, ok := r.Tn(n)
+	if !ok {
+		return 0, false
+	}
+	t1, _ := r.T1()
+	return tn - t1, true
+}
+
+// StepCount is the number of paths arriving during one step.
+type StepCount struct {
+	Step  int
+	Time  float64 // step end (the arrival time of its paths)
+	Count int
+}
+
+// ArrivalCounts aggregates arrivals per step, in step order.
+func (r *Result) ArrivalCounts() []StepCount {
+	var out []StepCount
+	for _, p := range r.Arrivals {
+		if len(out) > 0 && out[len(out)-1].Step == p.Step {
+			out[len(out)-1].Count++
+			continue
+		}
+		out = append(out, StepCount{Step: p.Step, Time: r.ArrivalTime(p), Count: 1})
+	}
+	return out
+}

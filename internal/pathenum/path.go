@@ -1,0 +1,116 @@
+// Package pathenum implements the paper's core contribution (§4): the
+// enumeration of all valid forwarding paths for a message on a
+// space-time graph, using dynamic programming that maintains the k
+// shortest valid paths reaching each node (paper Figure 3), and the
+// path-explosion metrics derived from the enumeration — optimal path
+// duration T1, n-th arrival time Tn, and time to explosion
+// TE = T2000 − T1.
+//
+// A path is valid (§4.1) when it is loop-free, respects minimal
+// progress (a node holding a message delivers on any encounter with
+// the destination) and first preference (no valid path delivers later
+// than any of its member nodes could have delivered directly).
+package pathenum
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// maxNodes bounds the population size the enumerator supports; node
+// membership along a path is tracked in a fixed two-word bitset so
+// loop avoidance and first-preference pruning are O(1). The paper's
+// traces have 98 nodes.
+const maxNodes = 128
+
+// nodeSet is a fixed-width bitset over node IDs < maxNodes.
+type nodeSet [2]uint64
+
+func (s nodeSet) has(n trace.NodeID) bool {
+	return s[n>>6]&(1<<(uint(n)&63)) != 0
+}
+
+func (s nodeSet) with(n trace.NodeID) nodeSet {
+	s[n>>6] |= 1 << (uint(n) & 63)
+	return s
+}
+
+// intersects reports whether the two sets share any node.
+func (s nodeSet) intersects(t nodeSet) bool {
+	return s[0]&t[0] != 0 || s[1]&t[1] != 0
+}
+
+// Path is one valid space-time path, stored as an immutable chain of
+// hops sharing prefixes with sibling paths. Node is the node reached
+// by the final hop, Step the space-time step at which it was reached,
+// and Hops the number of transmissions from the source (the paper's
+// path length minus one: the source tuple is hop zero).
+type Path struct {
+	Node trace.NodeID
+	Step int
+	Hops int
+
+	parent  *Path
+	members nodeSet
+}
+
+// Parent returns the path prefix before the final hop, or nil for the
+// source tuple.
+func (p *Path) Parent() *Path { return p.parent }
+
+// Contains reports whether node n appears anywhere on the path.
+func (p *Path) Contains(n trace.NodeID) bool { return p.members.has(n) }
+
+// Nodes returns the node sequence from source to final node.
+func (p *Path) Nodes() []trace.NodeID {
+	n := p.Hops + 1
+	out := make([]trace.NodeID, n)
+	for q := p; q != nil; q = q.parent {
+		n--
+		out[n] = q.Node
+	}
+	return out
+}
+
+// Steps returns the step at which each node on the path was reached,
+// parallel to Nodes.
+func (p *Path) Steps() []int {
+	n := p.Hops + 1
+	out := make([]int, n)
+	for q := p; q != nil; q = q.parent {
+		n--
+		out[n] = q.Step
+	}
+	return out
+}
+
+// String renders the path as "src@step -> ... -> dst@step".
+func (p *Path) String() string {
+	nodes := p.Nodes()
+	steps := p.Steps()
+	s := ""
+	for i := range nodes {
+		if i > 0 {
+			s += " -> "
+		}
+		s += fmt.Sprintf("%d@%d", nodes[i], steps[i])
+	}
+	return s
+}
+
+// extend creates the path p plus one hop to node n at step s.
+func (p *Path) extend(n trace.NodeID, s int) *Path {
+	return &Path{
+		Node:    n,
+		Step:    s,
+		Hops:    p.Hops + 1,
+		parent:  p,
+		members: p.members.with(n),
+	}
+}
+
+// newSource creates the zero-hop path holding only the source tuple.
+func newSource(n trace.NodeID, s int) *Path {
+	return &Path{Node: n, Step: s, members: nodeSet{}.with(n)}
+}

@@ -1,0 +1,94 @@
+package pathenum
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func TestNodeSet(t *testing.T) {
+	var s nodeSet
+	if s.has(0) || s.has(127) {
+		t.Errorf("empty set has members")
+	}
+	s = s.with(0).with(63).with(64).with(127)
+	for _, n := range []trace.NodeID{0, 63, 64, 127} {
+		if !s.has(n) {
+			t.Errorf("missing %d", n)
+		}
+	}
+	for _, n := range []trace.NodeID{1, 62, 65, 126} {
+		if s.has(n) {
+			t.Errorf("spurious %d", n)
+		}
+	}
+}
+
+func TestNodeSetIntersects(t *testing.T) {
+	a := nodeSet{}.with(3).with(70)
+	b := nodeSet{}.with(70)
+	c := nodeSet{}.with(4)
+	if !a.intersects(b) {
+		t.Errorf("a∩b should intersect")
+	}
+	if a.intersects(c) {
+		t.Errorf("a∩c should not intersect")
+	}
+	if (nodeSet{}).intersects(a) {
+		t.Errorf("empty set intersects")
+	}
+}
+
+func TestNodeSetImmutability(t *testing.T) {
+	a := nodeSet{}.with(5)
+	b := a.with(9)
+	if a.has(9) {
+		t.Errorf("with mutated receiver")
+	}
+	if !b.has(5) || !b.has(9) {
+		t.Errorf("with lost members")
+	}
+}
+
+func TestPathChain(t *testing.T) {
+	p := newSource(3, 0)
+	p = p.extend(5, 2)
+	p = p.extend(7, 4)
+	if p.Hops != 2 {
+		t.Errorf("Hops = %d, want 2", p.Hops)
+	}
+	nodes := p.Nodes()
+	if len(nodes) != 3 || nodes[0] != 3 || nodes[1] != 5 || nodes[2] != 7 {
+		t.Errorf("Nodes = %v", nodes)
+	}
+	steps := p.Steps()
+	if len(steps) != 3 || steps[0] != 0 || steps[1] != 2 || steps[2] != 4 {
+		t.Errorf("Steps = %v", steps)
+	}
+	for _, n := range []trace.NodeID{3, 5, 7} {
+		if !p.Contains(n) {
+			t.Errorf("Contains(%d) = false", n)
+		}
+	}
+	if p.Contains(4) {
+		t.Errorf("Contains(4) = true")
+	}
+	if p.Parent().Node != 5 {
+		t.Errorf("Parent node = %d, want 5", p.Parent().Node)
+	}
+	if got, want := p.String(), "3@0 -> 5@2 -> 7@4"; got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+func TestPathSharesPrefix(t *testing.T) {
+	base := newSource(0, 0)
+	a := base.extend(1, 1)
+	b := base.extend(2, 1)
+	if a.Parent() != base || b.Parent() != base {
+		t.Errorf("extensions do not share prefix")
+	}
+	if a.Contains(2) || b.Contains(1) {
+		t.Errorf("sibling membership leaked")
+	}
+}

@@ -1,0 +1,174 @@
+// Package stgraph builds the paper's space-time graph (§4.1, based on
+// Merugu/Ammar/Zegura): time is discretized in steps of Δ; the vertex
+// set is (node, step); an edge of weight zero connects (x, T) to (y, T)
+// iff x and y were in contact at any time during [T−Δ, T); an edge of
+// unit weight connects (x, T) to (x, T+Δ).
+//
+// The graph is stored as one contact adjacency list per step. The
+// zero-weight edges within a step form an undirected contact graph;
+// path enumeration needs its restricted reachability (reachable nodes
+// excluding a forbidden set), provided by Reach.
+//
+// Discretization loses the ordering of contacts within a step: a
+// message may traverse two contacts of the same step even when the
+// second physically ended before the first began. Each in-step relay
+// chain can therefore be optimistic by up to Δ relative to continuous
+// time, and the error compounds over consecutive steps — the paper
+// accepts this O(Δ) artifact ("we can always identify this time
+// accurately to within an error of Δ").
+package stgraph
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/trace"
+)
+
+// DefaultDelta is the paper's discretization step (10 seconds).
+const DefaultDelta = 10.0
+
+// Graph is a space-time graph over a trace.
+type Graph struct {
+	NumNodes int
+	Delta    float64
+	Steps    int // number of discrete steps; step s covers [s·Δ, (s+1)·Δ)
+
+	// adj[s] is the contact adjacency of step s: adj[s][x] lists the
+	// nodes in contact with x during [s·Δ, (s+1)·Δ).
+	adj [][][]trace.NodeID
+}
+
+// New discretizes a trace with step delta. Following the paper, step
+// index T covers the half-open interval [T·Δ, (T+1)·Δ): a contact
+// active at any point in that interval produces a zero-weight edge at
+// that step.
+func New(tr *trace.Trace, delta float64) (*Graph, error) {
+	if delta <= 0 {
+		return nil, fmt.Errorf("stgraph: delta %g must be positive", delta)
+	}
+	steps := int(math.Ceil(tr.Horizon / delta))
+	if steps == 0 {
+		steps = 1
+	}
+	g := &Graph{
+		NumNodes: tr.NumNodes,
+		Delta:    delta,
+		Steps:    steps,
+		adj:      make([][][]trace.NodeID, steps),
+	}
+	for s := 0; s < steps; s++ {
+		g.adj[s] = make([][]trace.NodeID, tr.NumNodes)
+	}
+	for _, c := range tr.Contacts() {
+		first := int(c.Start / delta)
+		last := int(c.End / delta)
+		if c.End > c.Start && float64(last)*delta == c.End {
+			last-- // exclusive end on a step boundary
+		}
+		if last >= steps {
+			last = steps - 1
+		}
+		for s := first; s <= last; s++ {
+			// A pair can have several contact records in one step;
+			// dedupe so adjacency lists stay minimal.
+			if g.hasEdge(s, c.A, c.B) {
+				continue
+			}
+			g.adj[s][c.A] = append(g.adj[s][c.A], c.B)
+			g.adj[s][c.B] = append(g.adj[s][c.B], c.A)
+		}
+	}
+	return g, nil
+}
+
+func (g *Graph) hasEdge(s int, a, b trace.NodeID) bool {
+	for _, n := range g.adj[s][a] {
+		if n == b {
+			return true
+		}
+	}
+	return false
+}
+
+// StepOf returns the step index whose interval contains time t
+// (clamped to the valid range).
+func (g *Graph) StepOf(t float64) int {
+	s := int(t / g.Delta)
+	if s < 0 {
+		return 0
+	}
+	if s >= g.Steps {
+		return g.Steps - 1
+	}
+	return s
+}
+
+// TimeOf returns the start time of step s.
+func (g *Graph) TimeOf(s int) float64 { return float64(s) * g.Delta }
+
+// Neighbors returns the nodes in contact with x at step s. The
+// returned slice is shared and must not be modified.
+func (g *Graph) Neighbors(s int, x trace.NodeID) []trace.NodeID {
+	return g.adj[s][x]
+}
+
+// InContact reports whether nodes a and b share a zero-weight edge at
+// step s.
+func (g *Graph) InContact(s int, a, b trace.NodeID) bool {
+	return g.hasEdge(s, a, b)
+}
+
+// Reach appends to dst the nodes reachable from src at step s via
+// zero-weight edges without passing through (or into) any node for
+// which forbidden returns true. src itself is not appended. This is
+// the "distinct extensions ... via paths of zero weight" step of the
+// paper's enumeration algorithm: a message can traverse several
+// contacts within one Δ interval, but never through a node already on
+// its path.
+//
+// The visited scratch slice must have length NumNodes and be false
+// everywhere; it is restored before returning.
+func (g *Graph) Reach(s int, src trace.NodeID, forbidden func(trace.NodeID) bool, visited []bool, dst []trace.NodeID) []trace.NodeID {
+	var queue []trace.NodeID
+	visited[src] = true
+	queue = append(queue, src)
+	touched := []trace.NodeID{src}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range g.adj[s][cur] {
+			if visited[nb] || forbidden(nb) {
+				continue
+			}
+			visited[nb] = true
+			touched = append(touched, nb)
+			dst = append(dst, nb)
+			queue = append(queue, nb)
+		}
+	}
+	for _, n := range touched {
+		visited[n] = false
+	}
+	return dst
+}
+
+// ActiveNodes returns the nodes with at least one contact at step s.
+func (g *Graph) ActiveNodes(s int) []trace.NodeID {
+	var out []trace.NodeID
+	for n := 0; n < g.NumNodes; n++ {
+		if len(g.adj[s][n]) > 0 {
+			out = append(out, trace.NodeID(n))
+		}
+	}
+	return out
+}
+
+// EdgeCount returns the number of distinct zero-weight edges at step s.
+func (g *Graph) EdgeCount(s int) int {
+	total := 0
+	for n := 0; n < g.NumNodes; n++ {
+		total += len(g.adj[s][n])
+	}
+	return total / 2
+}

@@ -1,0 +1,274 @@
+package stgraph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/trace"
+)
+
+func mk(t *testing.T, numNodes int, horizon float64, cs []trace.Contact) *trace.Trace {
+	t.Helper()
+	tr, err := trace.New("t", numNodes, horizon, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestNewRejectsBadDelta(t *testing.T) {
+	tr := mk(t, 3, 100, nil)
+	if _, err := New(tr, 0); err == nil {
+		t.Errorf("delta 0 accepted")
+	}
+	if _, err := New(tr, -5); err == nil {
+		t.Errorf("negative delta accepted")
+	}
+}
+
+func TestStepsCoverHorizon(t *testing.T) {
+	tr := mk(t, 3, 95, nil)
+	g, err := New(tr, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Steps != 10 {
+		t.Errorf("Steps = %d, want 10", g.Steps)
+	}
+	g2, _ := New(mk(t, 3, 100, nil), 10)
+	if g2.Steps != 10 {
+		t.Errorf("Steps = %d, want 10 for exact horizon", g2.Steps)
+	}
+}
+
+// The paper's Figure 2 example: nodes 1 and 2 in contact during the
+// first step, all three pairwise in contact during the second step.
+func TestPaperFigure2Example(t *testing.T) {
+	tr := mk(t, 3, 20, []trace.Contact{
+		{A: 0, B: 1, Start: 0, End: 20}, // nodes "1" and "2"
+		{A: 0, B: 2, Start: 10, End: 20},
+		{A: 1, B: 2, Start: 10, End: 20},
+	})
+	g, err := New(tr, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Steps != 2 {
+		t.Fatalf("Steps = %d, want 2", g.Steps)
+	}
+	if !g.InContact(0, 0, 1) || g.InContact(0, 0, 2) || g.InContact(0, 1, 2) {
+		t.Errorf("step 0 adjacency wrong")
+	}
+	for _, pair := range [][2]trace.NodeID{{0, 1}, {0, 2}, {1, 2}} {
+		if !g.InContact(1, pair[0], pair[1]) {
+			t.Errorf("step 1 missing edge %v", pair)
+		}
+	}
+}
+
+func TestContactSpanningMultipleSteps(t *testing.T) {
+	tr := mk(t, 2, 100, []trace.Contact{{A: 0, B: 1, Start: 5, End: 35}})
+	g, _ := New(tr, 10)
+	for s, want := range []bool{true, true, true, true, false} {
+		if got := g.InContact(s, 0, 1); got != want {
+			t.Errorf("step %d contact = %v, want %v", s, got, want)
+		}
+	}
+}
+
+func TestExclusiveEndOnBoundary(t *testing.T) {
+	tr := mk(t, 2, 100, []trace.Contact{{A: 0, B: 1, Start: 0, End: 20}})
+	g, _ := New(tr, 10)
+	if !g.InContact(0, 0, 1) || !g.InContact(1, 0, 1) {
+		t.Errorf("contact should cover steps 0 and 1")
+	}
+	if g.InContact(2, 0, 1) {
+		t.Errorf("contact ending exactly at 20 should not touch step 2")
+	}
+}
+
+func TestInstantaneousContact(t *testing.T) {
+	tr := mk(t, 2, 100, []trace.Contact{{A: 0, B: 1, Start: 15, End: 15}})
+	g, _ := New(tr, 10)
+	if !g.InContact(1, 0, 1) {
+		t.Errorf("instantaneous contact lost")
+	}
+}
+
+func TestDuplicateContactsDeduped(t *testing.T) {
+	tr := mk(t, 2, 100, []trace.Contact{
+		{A: 0, B: 1, Start: 0, End: 5},
+		{A: 1, B: 0, Start: 2, End: 8},
+	})
+	g, _ := New(tr, 10)
+	if got := len(g.Neighbors(0, 0)); got != 1 {
+		t.Errorf("neighbors of 0 at step 0 = %d, want 1", got)
+	}
+	if g.EdgeCount(0) != 1 {
+		t.Errorf("EdgeCount = %d, want 1", g.EdgeCount(0))
+	}
+}
+
+func TestStepOfAndTimeOf(t *testing.T) {
+	tr := mk(t, 2, 100, nil)
+	g, _ := New(tr, 10)
+	for _, tc := range []struct {
+		t    float64
+		want int
+	}{{0, 0}, {9.99, 0}, {10, 1}, {95, 9}, {1000, 9}, {-5, 0}} {
+		if got := g.StepOf(tc.t); got != tc.want {
+			t.Errorf("StepOf(%g) = %d, want %d", tc.t, got, tc.want)
+		}
+	}
+	if g.TimeOf(3) != 30 {
+		t.Errorf("TimeOf(3) = %g", g.TimeOf(3))
+	}
+}
+
+func TestReachSimpleChain(t *testing.T) {
+	// 0-1, 1-2, 2-3 all in contact at step 0: reach from 0 is {1,2,3}.
+	tr := mk(t, 5, 10, []trace.Contact{
+		{A: 0, B: 1, Start: 0, End: 10},
+		{A: 1, B: 2, Start: 0, End: 10},
+		{A: 2, B: 3, Start: 0, End: 10},
+	})
+	g, _ := New(tr, 10)
+	visited := make([]bool, 5)
+	got := g.Reach(0, 0, func(trace.NodeID) bool { return false }, visited, nil)
+	if len(got) != 3 {
+		t.Fatalf("Reach = %v, want 3 nodes", got)
+	}
+	seen := map[trace.NodeID]bool{}
+	for _, n := range got {
+		seen[n] = true
+	}
+	for _, want := range []trace.NodeID{1, 2, 3} {
+		if !seen[want] {
+			t.Errorf("Reach missing %d", want)
+		}
+	}
+	for _, v := range visited {
+		if v {
+			t.Fatalf("visited scratch not restored")
+		}
+	}
+}
+
+func TestReachRespectsForbidden(t *testing.T) {
+	// Chain 0-1-2; forbidding 1 cuts off 2.
+	tr := mk(t, 4, 10, []trace.Contact{
+		{A: 0, B: 1, Start: 0, End: 10},
+		{A: 1, B: 2, Start: 0, End: 10},
+	})
+	g, _ := New(tr, 10)
+	visited := make([]bool, 4)
+	got := g.Reach(0, 0, func(n trace.NodeID) bool { return n == 1 }, visited, nil)
+	if len(got) != 0 {
+		t.Errorf("Reach through forbidden node: %v", got)
+	}
+}
+
+func TestReachDisconnected(t *testing.T) {
+	tr := mk(t, 4, 10, []trace.Contact{{A: 2, B: 3, Start: 0, End: 10}})
+	g, _ := New(tr, 10)
+	visited := make([]bool, 4)
+	if got := g.Reach(0, 0, func(trace.NodeID) bool { return false }, visited, nil); len(got) != 0 {
+		t.Errorf("isolated node reached %v", got)
+	}
+}
+
+func TestActiveNodes(t *testing.T) {
+	tr := mk(t, 5, 10, []trace.Contact{{A: 1, B: 3, Start: 0, End: 10}})
+	g, _ := New(tr, 10)
+	got := g.ActiveNodes(0)
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Errorf("ActiveNodes = %v, want [1 3]", got)
+	}
+}
+
+// Property: Reach never returns the source, duplicates, or forbidden
+// nodes, and the visited scratch is always restored.
+func TestReachProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 12
+		var cs []trace.Contact
+		for i := 0; i < 20; i++ {
+			a := trace.NodeID(rng.Intn(n))
+			b := trace.NodeID(rng.Intn(n))
+			if a == b {
+				continue
+			}
+			cs = append(cs, trace.Contact{A: a, B: b, Start: 0, End: 10})
+		}
+		tr, err := trace.New("q", n, 10, cs)
+		if err != nil {
+			return false
+		}
+		g, err := New(tr, 10)
+		if err != nil {
+			return false
+		}
+		src := trace.NodeID(rng.Intn(n))
+		forbidden := trace.NodeID(rng.Intn(n))
+		visited := make([]bool, n)
+		got := g.Reach(0, src, func(x trace.NodeID) bool { return x == forbidden }, visited, nil)
+		seen := map[trace.NodeID]bool{}
+		for _, x := range got {
+			if x == src || x == forbidden || seen[x] {
+				return false
+			}
+			seen[x] = true
+		}
+		for _, v := range visited {
+			if v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: edge counts are symmetric — every neighbor relation
+// appears in both adjacency lists.
+func TestAdjacencySymmetry(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const n = 10
+		var cs []trace.Contact
+		for i := 0; i < 15; i++ {
+			a := trace.NodeID(rng.Intn(n))
+			b := trace.NodeID(rng.Intn(n))
+			if a == b {
+				continue
+			}
+			s := rng.Float64() * 90
+			cs = append(cs, trace.Contact{A: a, B: b, Start: s, End: s + rng.Float64()*20})
+		}
+		tr, err := trace.New("q", n, 120, cs)
+		if err != nil {
+			return false
+		}
+		g, err := New(tr, 10)
+		if err != nil {
+			return false
+		}
+		for s := 0; s < g.Steps; s++ {
+			for x := 0; x < n; x++ {
+				for _, nb := range g.Neighbors(s, trace.NodeID(x)) {
+					if !g.InContact(s, nb, trace.NodeID(x)) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The text serialization is a line-oriented format in the spirit of
+// published iMote contact logs:
+//
+//	# comment lines start with '#'
+//	trace <name> <numNodes> <horizonSeconds>
+//	<nodeA> <nodeB> <start> <end>
+//	...
+//
+// Fields are whitespace-separated; times are decimal seconds.
+
+// Write serializes the trace to w in the text format above.
+func Write(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# pocket switched network contact trace\n")
+	fmt.Fprintf(bw, "trace %s %d %g\n", headerName(t.Name), t.NumNodes, t.Horizon)
+	for _, c := range t.contacts {
+		fmt.Fprintf(bw, "%d %d %g %g\n", c.A, c.B, c.Start, c.End)
+	}
+	return bw.Flush()
+}
+
+// headerName makes a trace name safe for the single-token header field.
+func headerName(name string) string {
+	if name == "" {
+		return "unnamed"
+	}
+	return strings.ReplaceAll(name, " ", "_")
+}
+
+// Read parses a trace in the text format produced by Write.
+func Read(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+
+	var (
+		name     string
+		numNodes int
+		horizon  float64
+		seen     bool
+		contacts []Contact
+		lineno   int
+	)
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if fields[0] == "trace" {
+			if seen {
+				return nil, fmt.Errorf("trace: line %d: duplicate header", lineno)
+			}
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("trace: line %d: header needs 4 fields, got %d", lineno, len(fields))
+			}
+			name = fields[1]
+			var err error
+			numNodes, err = strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: bad node count %q: %v", lineno, fields[2], err)
+			}
+			horizon, err = strconv.ParseFloat(fields[3], 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: bad horizon %q: %v", lineno, fields[3], err)
+			}
+			seen = true
+			continue
+		}
+		if !seen {
+			return nil, fmt.Errorf("trace: line %d: contact record before header", lineno)
+		}
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("trace: line %d: contact needs 4 fields, got %d", lineno, len(fields))
+		}
+		a, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad node %q: %v", lineno, fields[0], err)
+		}
+		b, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad node %q: %v", lineno, fields[1], err)
+		}
+		start, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad start %q: %v", lineno, fields[2], err)
+		}
+		end, err := strconv.ParseFloat(fields[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad end %q: %v", lineno, fields[3], err)
+		}
+		contacts = append(contacts, Contact{A: NodeID(a), B: NodeID(b), Start: start, End: end})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: read: %w", err)
+	}
+	if !seen {
+		return nil, fmt.Errorf("trace: missing header line")
+	}
+	return New(name, numNodes, horizon, contacts)
+}

@@ -1,0 +1,83 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	orig := mkTrace(t, []Contact{
+		{A: 0, B: 1, Start: 10.5, End: 20.25},
+		{A: 3, B: 4, Start: 100, End: 101},
+	})
+	var buf bytes.Buffer
+	if err := Write(&buf, orig); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if got.Name != orig.Name || got.NumNodes != orig.NumNodes || got.Horizon != orig.Horizon {
+		t.Errorf("header mismatch: got %q/%d/%g", got.Name, got.NumNodes, got.Horizon)
+	}
+	if got.Len() != orig.Len() {
+		t.Fatalf("Len = %d, want %d", got.Len(), orig.Len())
+	}
+	for i := range got.Contacts() {
+		if got.Contacts()[i] != orig.Contacts()[i] {
+			t.Errorf("contact %d = %+v, want %+v", i, got.Contacts()[i], orig.Contacts()[i])
+		}
+	}
+}
+
+func TestWriteEscapesName(t *testing.T) {
+	tr := MustNew("two words", 2, 10, nil)
+	var buf bytes.Buffer
+	if err := Write(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if got.Name != "two_words" {
+		t.Errorf("Name = %q, want two_words", got.Name)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	for _, tc := range []struct {
+		name, in string
+	}{
+		{"empty", ""},
+		{"no header", "0 1 0 1\n"},
+		{"short header", "trace t 5\n"},
+		{"bad node count", "trace t five 100\n"},
+		{"bad horizon", "trace t 5 x\n"},
+		{"duplicate header", "trace t 5 100\ntrace t 5 100\n"},
+		{"short contact", "trace t 5 100\n0 1 2\n"},
+		{"bad contact node", "trace t 5 100\nx 1 0 1\n"},
+		{"bad contact node b", "trace t 5 100\n0 x 0 1\n"},
+		{"bad contact start", "trace t 5 100\n0 1 x 1\n"},
+		{"bad contact end", "trace t 5 100\n0 1 0 x\n"},
+		{"invalid contact", "trace t 5 100\n0 1 50 40\n"},
+		{"self contact", "trace t 5 100\n2 2 0 1\n"},
+	} {
+		if _, err := Read(strings.NewReader(tc.in)); err == nil {
+			t.Errorf("%s: expected error, got nil", tc.name)
+		}
+	}
+}
+
+func TestReadSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# a comment\n\ntrace t 3 50\n# another\n0 1 0 5\n\n1 2 6 10\n"
+	tr, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if tr.Len() != 2 {
+		t.Errorf("Len = %d, want 2", tr.Len())
+	}
+}

@@ -1,0 +1,487 @@
+package tracegen
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+func validCfg() Config {
+	return Config{
+		Name:         "t",
+		NumNodes:     30,
+		Stationary:   5,
+		Horizon:      3600,
+		MaxRate:      0.05,
+		MeanDuration: 60,
+		MinDuration:  5,
+		Seed:         7,
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"too few nodes", func(c *Config) { c.NumNodes = 1 }},
+		{"negative stationary", func(c *Config) { c.Stationary = -1 }},
+		{"stationary exceeds nodes", func(c *Config) { c.Stationary = 99 }},
+		{"zero horizon", func(c *Config) { c.Horizon = 0 }},
+		{"zero rate", func(c *Config) { c.MaxRate = 0 }},
+		{"zero duration", func(c *Config) { c.MeanDuration = 0 }},
+		{"negative min duration", func(c *Config) { c.MinDuration = -1 }},
+	} {
+		cfg := validCfg()
+		tc.mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted bad config", tc.name)
+		}
+	}
+	cfg := validCfg()
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestHeterogeneousDeterministic(t *testing.T) {
+	a, err := Heterogeneous(validCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Heterogeneous(validCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != b.Len() {
+		t.Fatalf("lengths differ: %d vs %d", a.Len(), b.Len())
+	}
+	for i := range a.Contacts() {
+		if a.Contacts()[i] != b.Contacts()[i] {
+			t.Fatalf("contact %d differs", i)
+		}
+	}
+	cfg := validCfg()
+	cfg.Seed = 8
+	c, err := Heterogeneous(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Len() == a.Len() {
+		same := true
+		for i := range c.Contacts() {
+			if c.Contacts()[i] != a.Contacts()[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Errorf("different seeds produced identical traces")
+		}
+	}
+}
+
+func TestHeterogeneousInvalidConfig(t *testing.T) {
+	cfg := validCfg()
+	cfg.NumNodes = 0
+	if _, err := Heterogeneous(cfg); err == nil {
+		t.Errorf("invalid config accepted")
+	}
+}
+
+func TestHeterogeneousRateShape(t *testing.T) {
+	cfg := validCfg()
+	cfg.NumNodes = 98
+	cfg.Stationary = 20
+	cfg.Horizon = 10800
+	cfg.MaxRate = 0.046
+	cfg.MeanDuration = 150
+	tr, err := Heterogeneous(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := tr.ContactCounts()
+	sorted := make([]float64, len(counts))
+	for i, c := range counts {
+		sorted[i] = float64(c)
+	}
+	sort.Float64s(sorted)
+	// Rates should be heterogeneous: the top decile should dwarf the
+	// bottom decile, and some nodes should be nearly isolated.
+	lo := stats.Mean(sorted[:10])
+	hi := stats.Mean(sorted[len(sorted)-10:])
+	if hi < 4*lo {
+		t.Errorf("insufficient heterogeneity: bottom mean %g, top mean %g", lo, hi)
+	}
+	if sorted[0] > 60 {
+		t.Errorf("lowest contact count = %g, expected a near-isolated node", sorted[0])
+	}
+	// Aggregate volume should be in the calibrated ballpark
+	// (roughly uniform counts on (0, ~500)).
+	if total := tr.Len(); total < 3000 || total > 40000 {
+		t.Errorf("total contacts = %d, outside plausible range", total)
+	}
+}
+
+func TestHomogeneousRatesConcentrated(t *testing.T) {
+	tr, err := Homogeneous("h", 60, 7200, 0.03, 60, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := tr.ContactCounts()
+	xs := make([]float64, len(counts))
+	for i, c := range counts {
+		xs[i] = float64(c)
+	}
+	mean := stats.Mean(xs)
+	cv := stats.StdDev(xs) / mean
+	if cv > 0.35 {
+		t.Errorf("homogeneous trace too dispersed: cv = %g", cv)
+	}
+	// Expected per-node contacts ≈ λ·T ≈ 0.03·7200 = 216.
+	if mean < 120 || mean > 320 {
+		t.Errorf("mean contacts per node = %g, want ≈216", mean)
+	}
+}
+
+func TestHomogeneousInvalid(t *testing.T) {
+	if _, err := Homogeneous("h", 1, 100, 0.1, 10, 1); err == nil {
+		t.Errorf("invalid homogeneous config accepted")
+	}
+}
+
+func TestScanQuantization(t *testing.T) {
+	cfg := validCfg()
+	cfg.ScanInterval = 120
+	cfg.MeanDuration = 400 // long contacts so most survive quantization
+	tr, err := Heterogeneous(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() == 0 {
+		t.Fatal("no contacts survived quantization")
+	}
+	for _, c := range tr.Contacts() {
+		if rem := math.Mod(c.Start, 120); rem > 1e-9 && rem < 120-1e-9 {
+			t.Fatalf("start %g not on scan grid", c.Start)
+		}
+	}
+}
+
+func TestActivityThinning(t *testing.T) {
+	base := validCfg()
+	full, err := Heterogeneous(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	thin := base
+	thin.Activity = func(t float64) float64 { return 0.2 }
+	thinned, err := Heterogeneous(thin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if thinned.Len() >= full.Len() {
+		t.Errorf("activity 0.2 did not thin contacts: %d vs %d", thinned.Len(), full.Len())
+	}
+	off := base
+	off.Activity = func(t float64) float64 { return 0 }
+	none, err := Heterogeneous(off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if none.Len() != 0 {
+		t.Errorf("activity 0 still produced %d contacts", none.Len())
+	}
+}
+
+func TestMinDurationEnforced(t *testing.T) {
+	cfg := validCfg()
+	cfg.MinDuration = 42
+	tr, err := Heterogeneous(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range tr.Contacts() {
+		if c.End < cfg.Horizon && c.Duration() < 42-1e-9 {
+			t.Fatalf("contact duration %g < min 42 (contact %+v)", c.Duration(), c)
+		}
+	}
+}
+
+func TestPairContactsDoNotOverlap(t *testing.T) {
+	cfg := validCfg()
+	cfg.MeanDuration = 600 // long durations force merges
+	tr, err := Heterogeneous(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type pair struct{ a, b trace.NodeID }
+	last := map[pair]float64{}
+	for _, c := range tr.Contacts() {
+		p := pair{c.A, c.B}
+		if prev, ok := last[p]; ok && c.Start <= prev {
+			t.Fatalf("pair %v contacts overlap: start %g <= previous end %g", p, c.Start, prev)
+		}
+		if c.End > last[p] {
+			last[p] = c.End
+		}
+	}
+}
+
+func TestGenerateNamedDatasets(t *testing.T) {
+	for _, d := range Datasets {
+		tr, err := Generate(d)
+		if err != nil {
+			t.Fatalf("%v: %v", d, err)
+		}
+		if tr.NumNodes != 98 {
+			t.Errorf("%v: NumNodes = %d, want 98", d, tr.NumNodes)
+		}
+		if tr.Horizon != ConferenceHorizon {
+			t.Errorf("%v: Horizon = %g", d, tr.Horizon)
+		}
+		if tr.Len() < 1000 {
+			t.Errorf("%v: only %d contacts", d, tr.Len())
+		}
+	}
+}
+
+func TestGenerateUnknownDataset(t *testing.T) {
+	if _, err := Generate(Dataset(99)); err == nil {
+		t.Errorf("unknown dataset accepted")
+	}
+	var ue *UnknownDatasetError
+	_, err := Generate(Dataset(99))
+	if ue, _ = err.(*UnknownDatasetError); ue == nil {
+		t.Errorf("error type = %T, want *UnknownDatasetError", err)
+	} else if ue.Error() == "" {
+		t.Errorf("empty error message")
+	}
+}
+
+func TestConextLighterThanInfocom(t *testing.T) {
+	inf := MustGenerate(Infocom0912)
+	con := MustGenerate(Conext0912)
+	if con.Len() >= inf.Len() {
+		t.Errorf("CoNext (%d contacts) should be lighter than Infocom (%d)", con.Len(), inf.Len())
+	}
+}
+
+func TestAfternoonDropReducesLateContacts(t *testing.T) {
+	am := MustGenerate(Infocom0912)
+	pm := MustGenerate(Infocom0336)
+	lateShare := func(tr *trace.Trace) float64 {
+		late := 0
+		for _, c := range tr.Contacts() {
+			if c.Start >= ConferenceHorizon-1800 {
+				late++
+			}
+		}
+		return float64(late) / float64(tr.Len())
+	}
+	if la, lp := lateShare(am), lateShare(pm); lp >= la {
+		t.Errorf("afternoon drop not visible: am late share %g, pm late share %g", la, lp)
+	}
+}
+
+func TestDatasetString(t *testing.T) {
+	if Dataset(42).String() != "unknown dataset" {
+		t.Errorf("unknown dataset String")
+	}
+	for _, d := range Datasets {
+		if d.String() == "unknown dataset" {
+			t.Errorf("named dataset %d has no name", int(d))
+		}
+	}
+}
+
+func TestDev(t *testing.T) {
+	tr := Dev(1)
+	if tr.NumNodes != 24 || tr.Horizon != 1800 {
+		t.Errorf("Dev shape = %d nodes / %g s", tr.NumNodes, tr.Horizon)
+	}
+	if tr.Len() == 0 {
+		t.Errorf("Dev trace empty")
+	}
+}
+
+func TestRandomWaypoint(t *testing.T) {
+	cfg := WaypointConfig{
+		Name:     "rwp",
+		NumNodes: 12,
+		Horizon:  600,
+		Width:    80, Height: 60,
+		Range:    10,
+		MinSpeed: 0.5, MaxSpeed: 2,
+		MaxPause:    10,
+		TickSeconds: 1,
+		Seed:        5,
+	}
+	tr, err := RandomWaypoint(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() == 0 {
+		t.Fatal("random waypoint produced no contacts")
+	}
+	for _, c := range tr.Contacts() {
+		if c.End > tr.Horizon || c.Start < 0 {
+			t.Fatalf("contact out of range: %+v", c)
+		}
+	}
+	// Determinism.
+	tr2, err := RandomWaypoint(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr2.Len() != tr.Len() {
+		t.Errorf("waypoint generator not deterministic")
+	}
+}
+
+func TestRandomWaypointValidation(t *testing.T) {
+	base := WaypointConfig{
+		NumNodes: 5, Horizon: 100, Width: 10, Height: 10,
+		Range: 2, MinSpeed: 1, MaxSpeed: 2, MaxPause: 1,
+	}
+	for _, tc := range []struct {
+		name   string
+		mutate func(*WaypointConfig)
+	}{
+		{"nodes", func(c *WaypointConfig) { c.NumNodes = 1 }},
+		{"horizon", func(c *WaypointConfig) { c.Horizon = 0 }},
+		{"arena", func(c *WaypointConfig) { c.Width = 0 }},
+		{"range", func(c *WaypointConfig) { c.Range = 0 }},
+		{"speed order", func(c *WaypointConfig) { c.MaxSpeed = 0.5 }},
+		{"speed zero", func(c *WaypointConfig) { c.MinSpeed = 0 }},
+		{"pause", func(c *WaypointConfig) { c.MaxPause = -1 }},
+	} {
+		cfg := base
+		tc.mutate(&cfg)
+		if _, err := RandomWaypoint(cfg); err == nil {
+			t.Errorf("%s: invalid config accepted", tc.name)
+		}
+	}
+}
+
+func TestRandomWaypointMoreUniformThanConference(t *testing.T) {
+	rwp, err := RandomWaypoint(WaypointConfig{
+		Name: "rwp", NumNodes: 30, Horizon: 1200,
+		Width: 100, Height: 100, Range: 10,
+		MinSpeed: 1, MaxSpeed: 2, MaxPause: 5, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conf := Dev(9)
+	cv := func(tr *trace.Trace) float64 {
+		counts := tr.ContactCounts()
+		xs := make([]float64, len(counts))
+		for i, c := range counts {
+			xs[i] = float64(c)
+		}
+		return stats.StdDev(xs) / stats.Mean(xs)
+	}
+	if cv(rwp) >= cv(conf) {
+		t.Errorf("expected RWP contact counts more uniform: cv(rwp)=%g cv(conf)=%g", cv(rwp), cv(conf))
+	}
+}
+
+func TestOnOffValidation(t *testing.T) {
+	cfg := validCfg()
+	cfg.OnMean = 100 // OffMean missing
+	if err := cfg.Validate(); err == nil {
+		t.Errorf("OnMean without OffMean accepted")
+	}
+	cfg = validCfg()
+	cfg.OnMean, cfg.OffMean = -1, -1
+	if err := cfg.Validate(); err == nil {
+		t.Errorf("negative sojourns accepted")
+	}
+	cfg = validCfg()
+	cfg.PeerMixing = 1.5
+	if err := cfg.Validate(); err == nil {
+		t.Errorf("peer mixing > 1 accepted")
+	}
+}
+
+// ON/OFF modulation must preserve calibrated contact volume (the pair
+// intensities are scaled by the inverse squared duty cycle) while
+// creating heavier-tailed inter-contact gaps.
+func TestOnOffPreservesVolumeAddsGaps(t *testing.T) {
+	base := validCfg()
+	base.NumNodes = 60
+	base.Horizon = 7200
+	plain, err := Heterogeneous(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod := base
+	mod.OnMean, mod.OffMean = 600, 300
+	onoff, err := Heterogeneous(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(onoff.Len()) / float64(plain.Len())
+	if ratio < 0.7 || ratio > 1.4 {
+		t.Errorf("ON/OFF changed contact volume by %.2fx", ratio)
+	}
+	// Tail: the longest per-node quiet gap should grow under ON/OFF.
+	if g, p := maxNodeGap(onoff), maxNodeGap(plain); g < p {
+		t.Errorf("ON/OFF max quiet gap %.0f not above plain %.0f", g, p)
+	}
+}
+
+// maxNodeGap returns the largest gap between consecutive contacts of
+// any single node (trace-start and trace-end gaps included).
+func maxNodeGap(tr *trace.Trace) float64 {
+	last := make([]float64, tr.NumNodes)
+	maxGap := 0.0
+	for _, c := range tr.Contacts() {
+		for _, n := range []trace.NodeID{c.A, c.B} {
+			if g := c.Start - last[n]; g > maxGap {
+				maxGap = g
+			}
+			if c.End > last[n] {
+				last[n] = c.End
+			}
+		}
+	}
+	for n := range last {
+		if g := tr.Horizon - last[n]; g > maxGap {
+			maxGap = g
+		}
+	}
+	return maxGap
+}
+
+func TestPeerMixingRaisesLowRateFloor(t *testing.T) {
+	base := validCfg()
+	base.NumNodes = 80
+	base.Horizon = 7200
+	pure, err := Heterogeneous(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixCfg := base
+	mixCfg.PeerMixing = 0.5
+	mixed, err := Heterogeneous(mixCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minOf := func(tr *trace.Trace) int {
+		m := tr.ContactCounts()[0]
+		for _, c := range tr.ContactCounts() {
+			if c < m {
+				m = c
+			}
+		}
+		return m
+	}
+	if minOf(mixed) <= minOf(pure) {
+		t.Errorf("uniform mixing floor not visible: min %d vs %d", minOf(mixed), minOf(pure))
+	}
+}

@@ -1,0 +1,219 @@
+// Package psn is the public API of this reproduction of "Diversity of
+// Forwarding Paths in Pocket Switched Networks" (Erramilli,
+// Chaintreau, Crovella, Diot — IMC 2007 / BUCS TR 2007-005).
+//
+// It re-exports the library's building blocks behind one import:
+//
+//   - contact traces and synthetic conference datasets
+//     (Trace, Contact, GenerateDataset, DevTrace, …);
+//   - valid-path enumeration on a space-time graph and the
+//     path-explosion metrics (Enumerator, Result, Explosion);
+//   - the homogeneous analytic model of path explosion
+//     (SolveODE, SimulateJump, MeanClosedForm, …);
+//   - the trace-driven forwarding simulator and the six algorithms the
+//     paper compares (Simulate, PaperAlgorithms, …);
+//   - the experiment harness that regenerates every figure of the
+//     paper's evaluation (NewFigureHarness, Figures, …).
+//
+// See examples/quickstart for a five-minute tour.
+package psn
+
+import (
+	"io"
+
+	"repro/internal/analytic"
+	"repro/internal/dtnsim"
+	"repro/internal/figures"
+	"repro/internal/forward"
+	"repro/internal/pathenum"
+	"repro/internal/stgraph"
+	"repro/internal/trace"
+	"repro/internal/tracegen"
+)
+
+// Contact traces.
+type (
+	// Trace is an immutable contact trace (see internal/trace).
+	Trace = trace.Trace
+	// Contact is one contact record between two nodes.
+	Contact = trace.Contact
+	// NodeID identifies a device in a trace.
+	NodeID = trace.NodeID
+	// Classifier splits nodes into the paper's in/out rate classes.
+	Classifier = trace.Classifier
+	// PairType labels a source-destination pair (in-in … out-out).
+	PairType = trace.PairType
+)
+
+// Pair types, re-exported in the paper's presentation order.
+const (
+	InIn   = trace.InIn
+	InOut  = trace.InOut
+	OutIn  = trace.OutIn
+	OutOut = trace.OutOut
+)
+
+// NewTrace validates and builds a trace from contact records.
+func NewTrace(name string, numNodes int, horizon float64, contacts []Contact) (*Trace, error) {
+	return trace.New(name, numNodes, horizon, contacts)
+}
+
+// ReadTrace parses a trace in the text interchange format.
+func ReadTrace(r io.Reader) (*Trace, error) { return trace.Read(r) }
+
+// WriteTrace serializes a trace in the text interchange format.
+func WriteTrace(w io.Writer, t *Trace) error { return trace.Write(w, t) }
+
+// NewClassifier builds the median-rate in/out classifier of §5.2.
+func NewClassifier(t *Trace) *Classifier { return trace.NewClassifier(t) }
+
+// Synthetic datasets.
+type (
+	// Dataset names one of the four generated measurement windows.
+	Dataset = tracegen.Dataset
+	// GeneratorConfig parametrizes the heterogeneous conference
+	// generator.
+	GeneratorConfig = tracegen.Config
+	// WaypointConfig parametrizes the random-waypoint baseline.
+	WaypointConfig = tracegen.WaypointConfig
+)
+
+// The four datasets mirroring the paper's measurement windows.
+const (
+	Infocom0912 = tracegen.Infocom0912
+	Infocom0336 = tracegen.Infocom0336
+	Conext0912  = tracegen.Conext0912
+	Conext0336  = tracegen.Conext0336
+)
+
+// GenerateDataset builds a named dataset deterministically.
+func GenerateDataset(d Dataset) (*Trace, error) { return tracegen.Generate(d) }
+
+// GenerateConference runs the heterogeneous-Poisson conference
+// generator with a custom configuration.
+func GenerateConference(cfg GeneratorConfig) (*Trace, error) { return tracegen.Heterogeneous(cfg) }
+
+// GenerateHomogeneous builds a trace where every node has contact rate
+// lambda — the analytic model's setting.
+func GenerateHomogeneous(name string, numNodes int, horizon, lambda, meanDuration float64, seed int64) (*Trace, error) {
+	return tracegen.Homogeneous(name, numNodes, horizon, lambda, meanDuration, seed)
+}
+
+// GenerateWaypoint builds a random-waypoint mobility trace.
+func GenerateWaypoint(cfg WaypointConfig) (*Trace, error) { return tracegen.RandomWaypoint(cfg) }
+
+// DevTrace is a small deterministic conference trace for examples and
+// experimentation (24 nodes, 30 minutes).
+func DevTrace(seed int64) *Trace { return tracegen.Dev(seed) }
+
+// Path enumeration.
+type (
+	// Enumerator enumerates valid forwarding paths for messages.
+	Enumerator = pathenum.Enumerator
+	// EnumOptions tunes enumeration (Δ, K, table width).
+	EnumOptions = pathenum.Options
+	// PathMessage identifies one (src, dst, start) forwarding problem.
+	PathMessage = pathenum.Message
+	// EnumResult holds the delivered paths of one enumeration.
+	EnumResult = pathenum.Result
+	// Path is one valid space-time path.
+	Path = pathenum.Path
+	// Explosion is the T1/TE summary of one message.
+	Explosion = pathenum.Explosion
+	// SpaceTimeGraph is the discretized contact graph.
+	SpaceTimeGraph = stgraph.Graph
+)
+
+// DefaultDelta is the paper's 10-second discretization.
+const DefaultDelta = stgraph.DefaultDelta
+
+// NewEnumerator prepares path enumeration over a trace.
+func NewEnumerator(t *Trace, opt EnumOptions) (*Enumerator, error) {
+	return pathenum.NewEnumerator(t, opt)
+}
+
+// NewSpaceTimeGraph discretizes a trace with step delta.
+func NewSpaceTimeGraph(t *Trace, delta float64) (*SpaceTimeGraph, error) {
+	return stgraph.New(t, delta)
+}
+
+// Forwarding.
+type (
+	// Algorithm is a forwarding decision rule.
+	Algorithm = forward.Algorithm
+	// SimConfig parametrizes one simulation run.
+	SimConfig = dtnsim.Config
+	// SimMessage is one unicast message for the simulator.
+	SimMessage = dtnsim.Message
+	// SimResult aggregates per-message outcomes.
+	SimResult = dtnsim.Result
+	// CopyMode selects replicate vs relay semantics.
+	CopyMode = dtnsim.CopyMode
+)
+
+// Copy modes.
+const (
+	Replicate = dtnsim.Replicate
+	Relay     = dtnsim.Relay
+)
+
+// Simulate runs a forwarding algorithm over a trace.
+func Simulate(cfg SimConfig) (*SimResult, error) { return dtnsim.Run(cfg) }
+
+// SimWorkload draws the paper's Poisson message workload.
+func SimWorkload(t *Trace, rate, genHorizon float64, seed int64) []SimMessage {
+	return dtnsim.Workload(t, rate, genHorizon, seed)
+}
+
+// PaperAlgorithms returns the six algorithms compared in §6.
+func PaperAlgorithms() []Algorithm { return forward.PaperSet() }
+
+// AllAlgorithms returns the paper set plus Direct Delivery, Spray and
+// Wait, and PRoPHET.
+func AllAlgorithms() []Algorithm { return forward.ExtendedSet() }
+
+// Analytic model.
+type (
+	// ODEConfig parametrizes the truncated u_k integrator.
+	ODEConfig = analytic.ODEConfig
+	// JumpConfig parametrizes the Monte-Carlo jump process.
+	JumpConfig = analytic.JumpConfig
+	// ModelSolution holds state-density snapshots over time.
+	ModelSolution = analytic.Solution
+)
+
+// SolveODE integrates the Proposition 3 density system.
+func SolveODE(u0 []float64, cfg ODEConfig) (*ModelSolution, error) {
+	return analytic.SolveODE(u0, cfg)
+}
+
+// SimulateJump runs the finite-N Markov jump process of §5.1.2.
+func SimulateJump(cfg JumpConfig) (*ModelSolution, error) { return analytic.SimulateJump(cfg) }
+
+// SourceInitial is the paper's initial condition: one source node
+// holding a single path.
+func SourceInitial(n, k int) []float64 { return analytic.SourceInitial(n, k) }
+
+// MeanClosedForm evaluates Equation (4): E[S(t)] = E[S(0)]·e^{λt}.
+func MeanClosedForm(mean0, lambda, t float64) float64 {
+	return analytic.MeanClosedForm(mean0, lambda, t)
+}
+
+// Figures.
+type (
+	// FigureHarness caches datasets and studies across figures.
+	FigureHarness = figures.Harness
+	// FigureParams scales the experiment harness.
+	FigureParams = figures.Params
+	// FigureSpec is one renderable experiment.
+	FigureSpec = figures.Figure
+)
+
+// NewFigureHarness prepares the experiment harness.
+func NewFigureHarness(p FigureParams) *FigureHarness { return figures.NewHarness(p) }
+
+// Figures lists every registered figure in id order.
+func Figures() []FigureSpec { return figures.All() }
+
+// LookupFigure finds a figure by id (e.g. "F04a").
+func LookupFigure(id string) (FigureSpec, bool) { return figures.Lookup(id) }
