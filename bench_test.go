@@ -8,6 +8,7 @@ package psn_test
 
 import (
 	"io"
+	"math/rand"
 	"testing"
 
 	psn "repro"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/forward"
 	"repro/internal/pathenum"
 	"repro/internal/stgraph"
+	"repro/internal/trace"
 	"repro/internal/tracegen"
 )
 
@@ -147,6 +149,68 @@ func BenchmarkSimulateEpidemic(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := dtnsim.Run(dtnsim.Config{Trace: tr, Algorithm: forward.Epidemic{}, Messages: msgs}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchmarkRunWorkers is the paper's Poisson-workload simulation (the
+// repo's hottest loop) at a fixed worker count; the Serial/Parallel
+// pair tracks the engine's speedup in the perf trajectory.
+func benchmarkRunWorkers(b *testing.B, workers int) {
+	tr := tracegen.MustGenerate(tracegen.Conext0912)
+	msgs := dtnsim.Workload(tr, 0.25, tr.Horizon*2/3, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dtnsim.Run(dtnsim.Config{
+			Trace: tr, Algorithm: forward.Epidemic{}, Messages: msgs, Workers: workers,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunSerial(b *testing.B)   { benchmarkRunWorkers(b, 1) }
+func BenchmarkRunParallel(b *testing.B) { benchmarkRunWorkers(b, 0) } // GOMAXPROCS workers
+
+// benchmarkEnumerateAllWorkers enumerates one message batch over the
+// shared conference space-time graph at a fixed worker count.
+func benchmarkEnumerateAllWorkers(b *testing.B, workers int) {
+	tr := tracegen.MustGenerate(tracegen.Conext0912)
+	enum, err := pathenum.NewEnumerator(tr, pathenum.Options{K: 500, Workers: workers})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	msgs := make([]pathenum.Message, 16)
+	for i := range msgs {
+		src := trace.NodeID(rng.Intn(tr.NumNodes))
+		dst := trace.NodeID(rng.Intn(tr.NumNodes - 1))
+		if dst >= src {
+			dst++
+		}
+		msgs[i] = pathenum.Message{Src: src, Dst: dst, Start: rng.Float64() * tr.Horizon / 2}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := enum.EnumerateAll(msgs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEnumerateAllSerial(b *testing.B)   { benchmarkEnumerateAllWorkers(b, 1) }
+func BenchmarkEnumerateAllParallel(b *testing.B) { benchmarkEnumerateAllWorkers(b, 0) }
+
+// BenchmarkHarnessPrecompute runs the figure harness's parallel
+// precompute stage end to end at reduced scale.
+func BenchmarkHarnessPrecompute(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h := figures.NewHarness(benchParams())
+		if err := h.Precompute(); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -25,6 +25,7 @@ func main() {
 		k        = flag.Int("k", 0, "explosion threshold (0 = paper's 2000)")
 		runs     = flag.Int("runs", 0, "simulation runs (0 = paper's 10)")
 		seed     = flag.Int64("seed", 1, "sampling seed")
+		workers  = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS, 1 = serial; figures are identical)")
 	)
 	flag.Parse()
 
@@ -36,7 +37,7 @@ func main() {
 	}
 
 	h := psn.NewFigureHarness(psn.FigureParams{
-		Messages: *messages, K: *k, SimRuns: *runs, Seed: *seed,
+		Messages: *messages, K: *k, SimRuns: *runs, Seed: *seed, Workers: *workers,
 	})
 	if *id != "" {
 		f, ok := psn.LookupFigure(*id)

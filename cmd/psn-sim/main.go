@@ -36,6 +36,7 @@ func main() {
 		extended = flag.Bool("extended", false, "include Direct Delivery, Spray and Wait, PRoPHET")
 		relay    = flag.Bool("relay", false, "use single-copy relay semantics instead of replication")
 		byPair   = flag.Bool("bypair", false, "split results by in/out pair type")
+		workers  = flag.Int("workers", 0, "worker goroutines per run (0 = GOMAXPROCS, 1 = serial; results are identical)")
 	)
 	flag.Parse()
 
@@ -60,8 +61,8 @@ func main() {
 	for _, alg := range algos {
 		var all []*psn.SimResult
 		for r := 0; r < *runs; r++ {
-			msgs := psn.SimWorkload(tr, *rate, tr.Horizon*2/3, *seed+int64(r))
-			res, err := psn.Simulate(psn.SimConfig{Trace: tr, Algorithm: alg, Messages: msgs, CopyMode: mode})
+			msgs := psn.SimWorkload(tr, *rate, tr.Horizon*2/3, psn.DeriveSeed(*seed, r))
+			res, err := psn.Simulate(psn.SimConfig{Trace: tr, Algorithm: alg, Messages: msgs, CopyMode: mode, Workers: *workers})
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "psn-sim:", err)
 				os.Exit(1)

@@ -18,7 +18,9 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 
+	"repro/internal/engine"
 	"repro/internal/forward"
 	"repro/internal/trace"
 )
@@ -53,6 +55,16 @@ type Config struct {
 	Algorithm forward.Algorithm
 	Messages  []Message
 	CopyMode  CopyMode
+
+	// Workers caps the number of goroutines evaluating messages
+	// concurrently. Zero means runtime.GOMAXPROCS(0); 1 forces a
+	// serial run. Messages are independent (infinite buffers, zero
+	// transmission time), so the per-message outcomes — and the
+	// aggregate Result — are byte-identical for every worker count.
+	// Algorithms with mutable state parallelize only if they implement
+	// forward.Cloner (each worker replays the full contact stream into
+	// its own clone); otherwise the run falls back to serial.
+	Workers int
 }
 
 // Outcome records the fate of one message.
@@ -102,9 +114,76 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 
-	s := newSim(cfg)
-	s.run()
-	return &Result{Algorithm: cfg.Algorithm.Name(), Outcomes: s.outcomes, Transmissions: s.sent}, nil
+	// The oracle tables (whole-trace totals and the O(n³) MEED metric)
+	// are read-only during simulation: compute them once and share
+	// them across every shard.
+	totals := tr.ContactCounts()
+	meed := forward.MEEDDistances(tr)
+	contactEvents := contactEventList(tr)
+
+	workers := engine.Workers(cfg.Workers)
+	if workers > len(cfg.Messages) {
+		workers = len(cfg.Messages)
+	}
+	algs, parallelizable := forward.ParallelInstances(cfg.Algorithm, max(workers, 1))
+	if workers <= 1 || !parallelizable {
+		s := newSim(cfg, cfg.Messages, totals, meed)
+		s.run(contactEvents)
+		return &Result{Algorithm: cfg.Algorithm.Name(), Outcomes: s.outcomes, Transmissions: s.sent}, nil
+	}
+
+	// Fan the messages out in strided shards: worker w owns messages
+	// w, w+workers, … Each shard replays the full contact stream into
+	// its own View (and algorithm clone), so every message sees
+	// exactly the state it would have seen in a serial run; outcomes
+	// land at their global index and transmission counts add up.
+	outcomes := make([]Outcome, len(cfg.Messages))
+	sent := make([]int, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			var msgs []Message
+			var idx []int
+			for i := w; i < len(cfg.Messages); i += workers {
+				msgs = append(msgs, cfg.Messages[i])
+				idx = append(idx, i)
+			}
+			shard := cfg
+			shard.Algorithm = algs[w]
+			s := newSim(shard, msgs, totals, meed)
+			s.run(contactEvents)
+			for j, o := range s.outcomes {
+				outcomes[idx[j]] = o
+			}
+			sent[w] = s.sent
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for _, n := range sent {
+		total += n
+	}
+	return &Result{Algorithm: cfg.Algorithm.Name(), Outcomes: outcomes, Transmissions: total}, nil
+}
+
+// contactEventList builds the trace's contact start/end events, sorted
+// once and shared read-only by every shard.
+func contactEventList(tr *trace.Trace) []event {
+	events := make([]event, 0, 2*tr.Len())
+	for _, c := range tr.Contacts() {
+		events = append(events,
+			event{time: c.Start, kind: evContactStart, a: c.A, b: c.B},
+			event{time: c.End, kind: evContactEnd, a: c.A, b: c.B},
+		)
+	}
+	sortEvents(events)
+	return events
+}
+
+func sortEvents(events []event) {
+	sort.SliceStable(events, func(i, j int) bool { return eventBefore(events[i], events[j]) })
 }
 
 // event kinds, processed in time order; at equal times contact starts
@@ -141,7 +220,7 @@ type msgState struct {
 }
 
 type sim struct {
-	cfg      Config
+	cfg      Config // shard configuration; cfg.Messages is superseded by msgs
 	view     *forward.View
 	obs      forward.ContactObserver
 	sprayL   int // 0 when the algorithm has no copy budget
@@ -152,7 +231,9 @@ type sim struct {
 	sent     int // total copy transfers, including deliveries
 }
 
-func newSim(cfg Config) *sim {
+// newSim prepares a simulation of the given message shard; totals and
+// meed are the shared read-only oracle tables.
+func newSim(cfg Config, msgs []Message, totals []int, meed [][]float64) *sim {
 	n := cfg.Trace.NumNodes
 	s := &sim{
 		cfg:  cfg,
@@ -160,7 +241,7 @@ func newSim(cfg Config) *sim {
 		open: make([][]trace.NodeID, n),
 		live: make(map[int]bool),
 	}
-	s.view.SetOracle(cfg.Trace)
+	s.view.InstallOracle(totals, meed)
 	if st, ok := cfg.Algorithm.(forward.Stateful); ok {
 		st.Reset(n)
 	}
@@ -170,9 +251,9 @@ func newSim(cfg Config) *sim {
 	if cb, ok := cfg.Algorithm.(forward.CopyBudget); ok {
 		s.sprayL = cb.InitialCopies()
 	}
-	s.msgs = make([]msgState, len(cfg.Messages))
-	s.outcomes = make([]Outcome, len(cfg.Messages))
-	for i, m := range cfg.Messages {
+	s.msgs = make([]msgState, len(msgs))
+	s.outcomes = make([]Outcome, len(msgs))
+	for i, m := range msgs {
 		s.msgs[i].msg = m
 		s.msgs[i].hops = make([]int8, n)
 		if s.sprayL > 0 {
@@ -183,24 +264,26 @@ func newSim(cfg Config) *sim {
 	return s
 }
 
-func (s *sim) run() {
-	events := make([]event, 0, 2*s.cfg.Trace.Len()+len(s.cfg.Messages))
-	for _, c := range s.cfg.Trace.Contacts() {
-		events = append(events,
-			event{time: c.Start, kind: evContactStart, a: c.A, b: c.B},
-			event{time: c.End, kind: evContactEnd, a: c.A, b: c.B},
-		)
+// run replays the shared contact events interleaved with this shard's
+// message creations. Only the shard's (few) creation events need
+// sorting; they are then merged into the pre-sorted contact stream in
+// linear time, in exactly the (time, kind) order sortEvents produces.
+func (s *sim) run(contactEvents []event) {
+	creates := make([]event, 0, len(s.msgs))
+	for i := range s.msgs {
+		creates = append(creates, event{time: s.msgs[i].msg.Start, kind: evMsgCreate, msg: i})
 	}
-	for i, m := range s.cfg.Messages {
-		events = append(events, event{time: m.Start, kind: evMsgCreate, msg: i})
-	}
-	sort.SliceStable(events, func(i, j int) bool {
-		if events[i].time != events[j].time {
-			return events[i].time < events[j].time
+	sortEvents(creates)
+	i, j := 0, 0
+	for i < len(contactEvents) || j < len(creates) {
+		var ev event
+		if j >= len(creates) || (i < len(contactEvents) && eventBefore(contactEvents[i], creates[j])) {
+			ev = contactEvents[i]
+			i++
+		} else {
+			ev = creates[j]
+			j++
 		}
-		return events[i].kind < events[j].kind
-	})
-	for _, ev := range events {
 		switch ev.kind {
 		case evContactStart:
 			s.contactStart(ev.a, ev.b, ev.time)
@@ -210,6 +293,16 @@ func (s *sim) run() {
 			s.contactEnd(ev.a, ev.b)
 		}
 	}
+}
+
+// eventBefore is the sortEvents order: time, then kind (starts before
+// creations before ends). Cross-list ties never share a kind, so the
+// merge is stable.
+func eventBefore(a, b event) bool {
+	if a.time != b.time {
+		return a.time < b.time
+	}
+	return a.kind < b.kind
 }
 
 func (s *sim) contactStart(a, b trace.NodeID, now float64) {
@@ -255,7 +348,9 @@ func (s *sim) createMessage(id int, now float64) {
 	// The source may already be inside a live contact component;
 	// spread (or deliver, which removes the message from the live set)
 	// immediately.
-	s.spread(id, m.msg.Src, now)
+	var seen holderSet
+	seen.add(m.msg.Src)
+	s.spread(id, m.msg.Src, now, seen)
 }
 
 // exchange considers handing message id from holder to peer at a
@@ -273,13 +368,22 @@ func (s *sim) exchange(id int, holder, peer trace.NodeID, now float64) {
 		return
 	}
 	s.transfer(id, holder, peer)
-	s.spread(id, peer, now)
+	var seen holderSet
+	seen.add(holder)
+	seen.add(peer)
+	s.spread(id, peer, now, seen)
 }
 
 // spread propagates message id from node through the live contact
 // component (zero transmission time), respecting the forwarding rule
-// at each hop.
-func (s *sim) spread(id int, from trace.NodeID, now float64) {
+// at each hop. seen holds the nodes that have already held the
+// message during this instantaneous propagation (including from):
+// re-transferring to them cannot reach anything new and, in relay
+// mode with an always-forward algorithm, would ping-pong the single
+// copy between two nodes forever. A node may still re-receive the
+// message at a later contact event. In replicate mode holders only
+// grow, so seen ⊆ holders and the guard changes nothing.
+func (s *sim) spread(id int, from trace.NodeID, now float64, seen holderSet) {
 	m := &s.msgs[id]
 	if m.delivered {
 		return
@@ -302,11 +406,18 @@ func (s *sim) spread(id int, from trace.NodeID, now float64) {
 				s.deliver(id, cur, now)
 				return
 			}
-			if !s.shouldForward(id, cur, peer, now) {
+			if seen.has(peer) || !s.shouldForward(id, cur, peer, now) {
 				continue
 			}
 			s.transfer(id, cur, peer)
+			seen.add(peer)
 			queue = append(queue, peer)
+			if !m.holders.has(cur) {
+				// Relay mode: cur handed its single copy to peer and
+				// has nothing left to forward or deliver from —
+				// continuing the loop would duplicate the copy.
+				break
+			}
 		}
 	}
 }

@@ -1,0 +1,98 @@
+// Package engine is the shared worker-pool layer behind every
+// parallel experiment in this repository: the trace-driven simulator
+// (dtnsim), the batch path enumerator (pathenum) and the figure
+// harness (figures) all fan independent work items out through Map
+// and MapErr.
+//
+// Determinism contract: callers hand the engine a fixed number of
+// items and write each item's result into a caller-owned slot indexed
+// by item; the engine only decides *when* an item runs, never *what*
+// it computes. Work items must therefore be independent — they may
+// share immutable inputs (a trace, a space-time graph, oracle tables)
+// but never mutable scratch or a shared *rand.Rand. Randomized items
+// derive an independent seed per item index with DeriveSeed instead of
+// drawing from a shared generator, so results are byte-identical for
+// any worker count, including 1.
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count knob: n itself when positive,
+// otherwise runtime.GOMAXPROCS(0). Every concurrency option in this
+// repository (dtnsim.Config.Workers, pathenum.Options.Workers,
+// figures.Params.Workers) is interpreted through this function.
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Map runs fn(i) for every i in [0, n) on up to workers goroutines
+// (resolved through Workers). Items are handed out dynamically, so an
+// expensive item does not stall the queue behind it. With one worker
+// (or one item) everything runs inline on the calling goroutine in
+// index order. Map returns when every item has completed.
+func Map(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// MapErr runs fn(i) for every i in [0, n) like Map and returns the
+// error of the lowest failing index, or nil. Every item runs even
+// when an earlier one fails, so the reported error does not depend on
+// scheduling and matches what a serial loop stopping at the first
+// failure would have returned.
+func MapErr(workers, n int, fn func(i int) error) error {
+	errs := make([]error, n)
+	Map(workers, n, func(i int) { errs[i] = fn(i) })
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DeriveSeed splits a base seed into an independent per-item seed by
+// mixing the item index through the splitmix64 finalizer. Distinct
+// (base, index) pairs map to well-separated seeds even when bases or
+// indices are small and sequential, so parallel work items can each
+// build a private rand.Rand instead of sharing one generator.
+func DeriveSeed(base int64, index int) int64 {
+	z := uint64(base) + 0x9e3779b97f4a7c15*(uint64(index)+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}

@@ -1,0 +1,108 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(4); got != 4 {
+		t.Errorf("Workers(4) = %d", got)
+	}
+	if got := Workers(1); got != 1 {
+		t.Errorf("Workers(1) = %d", got)
+	}
+	want := runtime.GOMAXPROCS(0)
+	if got := Workers(0); got != want {
+		t.Errorf("Workers(0) = %d, want GOMAXPROCS %d", got, want)
+	}
+	if got := Workers(-3); got != want {
+		t.Errorf("Workers(-3) = %d, want GOMAXPROCS %d", got, want)
+	}
+}
+
+func TestMapCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		const n = 1000
+		counts := make([]int32, n)
+		Map(workers, n, func(i int) { atomic.AddInt32(&counts[i], 1) })
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestMapSerialRunsInOrder(t *testing.T) {
+	var order []int
+	Map(1, 5, func(i int) { order = append(order, i) })
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("serial order = %v", order)
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	ran := false
+	Map(8, 0, func(int) { ran = true })
+	if ran {
+		t.Error("Map ran an item for n=0")
+	}
+}
+
+func TestMapErrReturnsLowestIndexError(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		err := MapErr(workers, 100, func(i int) error {
+			if i%30 == 7 { // fails at 7, 37, 67, 97
+				return fmt.Errorf("item %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "item 7" {
+			t.Errorf("workers=%d: err = %v, want item 7", workers, err)
+		}
+	}
+	if err := MapErr(8, 50, func(int) error { return nil }); err != nil {
+		t.Errorf("unexpected error %v", err)
+	}
+}
+
+func TestMapErrAllItemsRunDespiteFailure(t *testing.T) {
+	var ran atomic.Int32
+	sentinel := errors.New("boom")
+	err := MapErr(4, 64, func(i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Errorf("err = %v", err)
+	}
+	if got := ran.Load(); got != 64 {
+		t.Errorf("only %d/64 items ran", got)
+	}
+}
+
+func TestDeriveSeedDeterministicAndDistinct(t *testing.T) {
+	if DeriveSeed(1, 0) != DeriveSeed(1, 0) {
+		t.Fatal("DeriveSeed is not deterministic")
+	}
+	seen := map[int64]string{}
+	for base := int64(0); base < 8; base++ {
+		for idx := 0; idx < 256; idx++ {
+			s := DeriveSeed(base, idx)
+			key := fmt.Sprintf("base %d idx %d", base, idx)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("seed collision: %s and %s both map to %d", prev, key, s)
+			}
+			seen[s] = key
+		}
+	}
+}

@@ -44,17 +44,18 @@ type AblationRow struct {
 
 func (h *Harness) explosionArm(label string, opts pathenum.Options, msgs []pathenum.Message) (AblationRow, error) {
 	tr := h.Trace(h.P.Datasets[0])
+	opts.Workers = h.P.Workers
 	enum, err := pathenum.NewEnumerator(tr, opts)
 	if err != nil {
 		return AblationRow{}, err
 	}
 	row := AblationRow{Label: label}
 	var t1s, tes []float64
-	for _, m := range msgs {
-		res, err := enum.Enumerate(m)
-		if err != nil {
-			return AblationRow{}, err
-		}
+	results, err := enum.EnumerateAll(msgs)
+	if err != nil {
+		return AblationRow{}, err
+	}
+	for _, res := range results {
 		s := res.ExplosionSummary(opts.K)
 		if s.Found {
 			row.Found++
@@ -134,7 +135,7 @@ func renderAB2(h *Harness, w io.Writer) error {
 // history-based algorithms.
 func (h *Harness) ComputeAB3() ([]PerfRow, error) {
 	tr := h.Trace(h.P.Datasets[0])
-	msgs := workload(tr, h.P, h.P.Seed)
+	msgs := workload(tr, h.P, 0)
 	algos := []forward.Algorithm{forward.FRESH{}, forward.Greedy{}, forward.GreedyTotal{}}
 	var out []PerfRow
 	for _, mode := range []dtnsim.CopyMode{dtnsim.Replicate, dtnsim.Relay} {
@@ -179,23 +180,23 @@ func (h *Harness) ComputeAB4() (hom, het []PairTypeExplosion, err error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	enum, err := pathenum.NewEnumerator(homTrace, pathenum.Options{K: h.P.K})
+	enum, err := pathenum.NewEnumerator(homTrace, pathenum.Options{K: h.P.K, Workers: h.P.Workers})
 	if err != nil {
 		return nil, nil, err
 	}
 	cl := trace.NewClassifier(homTrace)
 	msgs := h.ablationMessages(h.P.Messages / 2)
+	results, err := enum.EnumerateAll(msgs)
+	if err != nil {
+		return nil, nil, err
+	}
 	byType := map[trace.PairType][][2]float64{}
-	for _, m := range msgs {
-		res, err := enum.Enumerate(m)
-		if err != nil {
-			return nil, nil, err
-		}
+	for i, res := range results {
 		s := res.ExplosionSummary(h.P.K)
 		if !s.Exploded {
 			continue
 		}
-		pt := cl.Classify(m.Src, m.Dst)
+		pt := cl.Classify(msgs[i].Src, msgs[i].Dst)
 		byType[pt] = append(byType[pt], [2]float64{s.T1, s.TE})
 	}
 	for _, pt := range trace.PairTypes {

@@ -15,8 +15,10 @@ import (
 	"io"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"repro/internal/dtnsim"
+	"repro/internal/engine"
 	"repro/internal/forward"
 	"repro/internal/pathenum"
 	"repro/internal/trace"
@@ -45,6 +47,13 @@ type Params struct {
 	Seed int64
 	// Datasets lists the datasets to analyze; nil means all four.
 	Datasets []tracegen.Dataset
+	// Workers caps the goroutines used across the harness's parallel
+	// stages: per-message enumeration within a study, per-(algorithm,
+	// seed) simulation runs, and per-dataset precomputation. Zero
+	// means runtime.GOMAXPROCS(0); 1 forces a fully serial harness.
+	// Message sampling stays serial and seed-driven, so every figure
+	// is byte-identical for every worker count.
+	Workers int
 }
 
 func (p Params) withDefaults() Params {
@@ -69,32 +78,58 @@ func (p Params) withDefaults() Params {
 	return p
 }
 
-// Harness caches datasets and computed studies across figures.
+// Harness caches datasets and computed studies across figures. A
+// Harness is safe for concurrent use: each cache entry is computed
+// exactly once (concurrent requests for the same key block on the
+// first computation) and the computed values are immutable.
 type Harness struct {
 	P Params
 
-	traces  map[tracegen.Dataset]*trace.Trace
-	studies map[tracegen.Dataset]*Study
-	sims    map[tracegen.Dataset]map[string]*dtnsim.Result
+	mu      sync.Mutex
+	traces  map[tracegen.Dataset]*memo[*trace.Trace]
+	studies map[tracegen.Dataset]*memo[*Study]
+	sims    map[tracegen.Dataset]*memo[map[string]*dtnsim.Result]
+}
+
+// memo is a single-flight cache slot: the first caller computes, every
+// other caller for the same key waits and shares the result.
+type memo[V any] struct {
+	once sync.Once
+	val  V
+	err  error
+}
+
+// memoized returns m[k]'s value, computing it at most once under the
+// harness lock discipline: the lock guards only the map lookup, the
+// computation itself runs outside it so distinct keys compute in
+// parallel.
+func memoized[K comparable, V any](mu *sync.Mutex, m map[K]*memo[V], k K, f func() (V, error)) (V, error) {
+	mu.Lock()
+	e, ok := m[k]
+	if !ok {
+		e = &memo[V]{}
+		m[k] = e
+	}
+	mu.Unlock()
+	e.once.Do(func() { e.val, e.err = f() })
+	return e.val, e.err
 }
 
 // NewHarness prepares a harness with the given parameters.
 func NewHarness(p Params) *Harness {
 	return &Harness{
 		P:       p.withDefaults(),
-		traces:  make(map[tracegen.Dataset]*trace.Trace),
-		studies: make(map[tracegen.Dataset]*Study),
-		sims:    make(map[tracegen.Dataset]map[string]*dtnsim.Result),
+		traces:  make(map[tracegen.Dataset]*memo[*trace.Trace]),
+		studies: make(map[tracegen.Dataset]*memo[*Study]),
+		sims:    make(map[tracegen.Dataset]*memo[map[string]*dtnsim.Result]),
 	}
 }
 
 // Trace returns (generating on first use) a named dataset.
 func (h *Harness) Trace(d tracegen.Dataset) *trace.Trace {
-	if t, ok := h.traces[d]; ok {
-		return t
-	}
-	t := tracegen.MustGenerate(d)
-	h.traces[d] = t
+	t, _ := memoized(&h.mu, h.traces, d, func() (*trace.Trace, error) {
+		return tracegen.MustGenerate(d), nil
+	})
 	return t
 }
 
@@ -117,63 +152,148 @@ func (s *Study) Summaries(n int) []pathenum.Explosion {
 
 // Study returns (computing on first use) the enumeration study of a
 // dataset: Params.Messages random messages with uniform endpoints and
-// start times in the generation window.
+// start times in the generation window. Sampling is serial and
+// seed-driven; the enumeration itself fans out across Params.Workers
+// goroutines.
 func (h *Harness) Study(d tracegen.Dataset) (*Study, error) {
-	if s, ok := h.studies[d]; ok {
-		return s, nil
-	}
-	tr := h.Trace(d)
-	enum, err := pathenum.NewEnumerator(tr, pathenum.Options{K: h.P.K})
-	if err != nil {
-		return nil, fmt.Errorf("figures: %v: %w", d, err)
-	}
-	rng := rand.New(rand.NewSource(h.P.Seed + int64(d)*1000))
-	genHorizon := tr.Horizon * h.P.GenFraction
-	st := &Study{Dataset: d, Trace: tr, Cl: trace.NewClassifier(tr)}
-	for i := 0; i < h.P.Messages; i++ {
-		src := trace.NodeID(rng.Intn(tr.NumNodes))
-		dst := trace.NodeID(rng.Intn(tr.NumNodes - 1))
-		if dst >= src {
-			dst++
-		}
-		msg := pathenum.Message{Src: src, Dst: dst, Start: rng.Float64() * genHorizon}
-		res, err := enum.Enumerate(msg)
+	return h.study(d, h.P.Workers)
+}
+
+func (h *Harness) study(d tracegen.Dataset, workers int) (*Study, error) {
+	return memoized(&h.mu, h.studies, d, func() (*Study, error) {
+		tr := h.Trace(d)
+		enum, err := pathenum.NewEnumerator(tr, pathenum.Options{K: h.P.K, Workers: workers})
 		if err != nil {
-			return nil, fmt.Errorf("figures: %v message %d: %w", d, i, err)
+			return nil, fmt.Errorf("figures: %v: %w", d, err)
 		}
-		st.Results = append(st.Results, res)
-	}
-	h.studies[d] = st
-	return st, nil
+		rng := rand.New(rand.NewSource(h.P.Seed + int64(d)*1000))
+		genHorizon := tr.Horizon * h.P.GenFraction
+		msgs := make([]pathenum.Message, h.P.Messages)
+		for i := range msgs {
+			src := trace.NodeID(rng.Intn(tr.NumNodes))
+			dst := trace.NodeID(rng.Intn(tr.NumNodes - 1))
+			if dst >= src {
+				dst++
+			}
+			msgs[i] = pathenum.Message{Src: src, Dst: dst, Start: rng.Float64() * genHorizon}
+		}
+		results, err := enum.EnumerateAll(msgs)
+		if err != nil {
+			return nil, fmt.Errorf("figures: %v %w", d, err)
+		}
+		return &Study{Dataset: d, Trace: tr, Cl: trace.NewClassifier(tr), Results: results}, nil
+	})
 }
 
 // Simulate returns (running on first use) the merged multi-seed
 // simulation results of every paper algorithm on a dataset, keyed by
-// algorithm name.
+// algorithm name. The (algorithm, seed) runs are independent and fan
+// out across Params.Workers goroutines; per-algorithm runs merge in
+// seed order, so the result does not depend on the worker count.
 func (h *Harness) Simulate(d tracegen.Dataset) (map[string]*dtnsim.Result, error) {
-	if rs, ok := h.sims[d]; ok {
-		return rs, nil
-	}
-	tr := h.Trace(d)
-	out := make(map[string]*dtnsim.Result)
-	for _, alg := range forward.PaperSet() {
-		var runs []*dtnsim.Result
-		for run := 0; run < h.P.SimRuns; run++ {
-			msgs := workload(tr, h.P, h.P.Seed+int64(run))
-			r, err := dtnsim.Run(dtnsim.Config{Trace: tr, Algorithm: alg, Messages: msgs})
-			if err != nil {
-				return nil, fmt.Errorf("figures: simulate %v/%s: %w", d, alg.Name(), err)
-			}
-			runs = append(runs, r)
-		}
-		out[alg.Name()] = dtnsim.Merge(runs...)
-	}
-	h.sims[d] = out
-	return out, nil
+	return h.simulate(d, h.P.Workers)
 }
 
-func workload(tr *trace.Trace, p Params, seed int64) []dtnsim.Message {
-	return dtnsim.Workload(tr, p.MsgRate, tr.Horizon*p.GenFraction, seed)
+func (h *Harness) simulate(d tracegen.Dataset, workers int) (map[string]*dtnsim.Result, error) {
+	return memoized(&h.mu, h.sims, d, func() (map[string]*dtnsim.Result, error) {
+		tr := h.Trace(d)
+		algs := forward.PaperSet()
+		runs := make([][]*dtnsim.Result, len(algs))
+		for i := range runs {
+			runs[i] = make([]*dtnsim.Result, h.P.SimRuns)
+		}
+		// One task per (algorithm, seed) pair. The inner simulator
+		// stays serial (Workers: 1): the sweep itself already exposes
+		// more than enough parallelism, and nested fan-out would just
+		// multiply the per-shard contact-replay overhead.
+		err := engine.MapErr(workers, len(algs)*h.P.SimRuns, func(t int) error {
+			a, run := t/h.P.SimRuns, t%h.P.SimRuns
+			alg, ok := parallelAlgorithm(algs[a])
+			if !ok {
+				return nil // handled serially below
+			}
+			msgs := workload(tr, h.P, run)
+			r, err := dtnsim.Run(dtnsim.Config{Trace: tr, Algorithm: alg, Messages: msgs, Workers: 1})
+			if err != nil {
+				return fmt.Errorf("figures: simulate %v/%s: %w", d, alg.Name(), err)
+			}
+			runs[a][run] = r
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		out := make(map[string]*dtnsim.Result, len(algs))
+		for a, alg := range algs {
+			for run := 0; run < h.P.SimRuns; run++ {
+				if runs[a][run] != nil {
+					continue
+				}
+				// Stateful algorithm that cannot clone: run its seeds
+				// serially on the shared instance.
+				msgs := workload(tr, h.P, run)
+				r, err := dtnsim.Run(dtnsim.Config{Trace: tr, Algorithm: alg, Messages: msgs, Workers: 1})
+				if err != nil {
+					return nil, fmt.Errorf("figures: simulate %v/%s: %w", d, alg.Name(), err)
+				}
+				runs[a][run] = r
+			}
+			out[alg.Name()] = dtnsim.Merge(runs[a]...)
+		}
+		return out, nil
+	})
+}
+
+// parallelAlgorithm returns an instance of a safe to run concurrently
+// with other runs of the same algorithm, or ok=false when the
+// algorithm's state cannot be cloned.
+func parallelAlgorithm(a forward.Algorithm) (forward.Algorithm, bool) {
+	insts, ok := forward.ParallelInstances(a, 1)
+	if !ok {
+		return nil, false
+	}
+	return insts[0], true
+}
+
+// Precompute generates every dataset's trace, enumeration study and
+// simulation sweep concurrently. RenderAll calls it first so figure
+// rendering — which reads only these caches — stays strictly ordered
+// while the heavy computation saturates the machine. The Workers
+// budget is split between the per-dataset fan-out and each task's
+// inner fan-out (per-message enumeration, per-(algorithm, seed)
+// simulation), so the total goroutine count respects the knob instead
+// of multiplying it.
+func (h *Harness) Precompute() error {
+	ds := h.P.Datasets
+	n := 2 * len(ds)
+	if n == 0 {
+		return nil
+	}
+	outer := engine.Workers(h.P.Workers)
+	if outer > n {
+		outer = n
+	}
+	inner := engine.Workers(h.P.Workers) / outer
+	if inner < 1 {
+		inner = 1
+	}
+	return engine.MapErr(outer, n, func(i int) error {
+		d := ds[i/2]
+		if i%2 == 0 {
+			_, err := h.study(d, inner)
+			return err
+		}
+		_, err := h.simulate(d, inner)
+		return err
+	})
+}
+
+// workload draws one run's Poisson messages. Run seeds are split from
+// the base seed per run index (not sequential base+run values), so
+// every run gets a well-separated RNG stream no matter how runs are
+// scheduled across workers.
+func workload(tr *trace.Trace, p Params, run int) []dtnsim.Message {
+	return dtnsim.Workload(tr, p.MsgRate, tr.Horizon*p.GenFraction, engine.DeriveSeed(p.Seed, run))
 }
 
 // AlgorithmOrder is the presentation order used across figures.
@@ -210,8 +330,14 @@ func Lookup(id string) (Figure, bool) {
 	return Figure{}, false
 }
 
-// RenderAll renders every figure to w.
+// RenderAll renders every figure to w. The shared studies and
+// simulation sweeps are precomputed concurrently first; rendering then
+// proceeds figure by figure in id order, so the output is identical
+// for every worker count.
 func (h *Harness) RenderAll(w io.Writer) error {
+	if err := h.Precompute(); err != nil {
+		return err
+	}
 	for _, f := range All() {
 		if err := h.RenderOne(f, w); err != nil {
 			return err

@@ -30,6 +30,42 @@ type Stateful interface {
 	Reset(numNodes int)
 }
 
+// Cloner is an optional interface for algorithms with internal
+// mutable state that can produce fresh, independent instances. The
+// parallel simulator gives each worker its own clone, so every clone
+// observes the full contact stream and reaches the same state the
+// original would have in a serial run.
+type Cloner interface {
+	Clone() Algorithm
+}
+
+// ParallelInstances returns n instances of a that can run in
+// concurrent simulation shards, and whether that is possible. A
+// Cloner yields n fresh clones. Algorithms with mutable state
+// (Stateful or ContactObserver) that cannot clone themselves are
+// rejected — the caller must fall back to a serial run. Everything
+// else is a stateless decision rule whose Forward only reads the
+// per-shard View, so the same value is shared by every shard.
+func ParallelInstances(a Algorithm, n int) ([]Algorithm, bool) {
+	out := make([]Algorithm, n)
+	if c, ok := a.(Cloner); ok {
+		for i := range out {
+			out[i] = c.Clone()
+		}
+		return out, true
+	}
+	if _, ok := a.(Stateful); ok {
+		return nil, false
+	}
+	if _, ok := a.(ContactObserver); ok {
+		return nil, false
+	}
+	for i := range out {
+		out[i] = a
+	}
+	return out, true
+}
+
 // CopyBudget is an optional interface marking binary-spray semantics:
 // each message starts with InitialCopies logical copies at the source;
 // a transfer hands the recipient half of the holder's copies; holders
@@ -165,6 +201,12 @@ func (p *PRoPHET) params() (pinit, beta, gamma float64) {
 		gamma = 0.98
 	}
 	return pinit, beta, gamma
+}
+
+// Clone implements Cloner: a fresh predictability table with the same
+// protocol constants.
+func (p *PRoPHET) Clone() Algorithm {
+	return &PRoPHET{PInit: p.PInit, Beta: p.Beta, Gamma: p.Gamma}
 }
 
 // Reset implements Stateful.

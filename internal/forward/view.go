@@ -106,8 +106,15 @@ func (v *View) MEEDDistance(a, b trace.NodeID) float64 {
 // SetOracle installs the future-knowledge tables used by Greedy Total
 // and Dynamic Programming, computed from the whole trace.
 func (v *View) SetOracle(tr *trace.Trace) {
-	v.totals = tr.ContactCounts()
-	v.meedDist = MEEDDistances(tr)
+	v.InstallOracle(tr.ContactCounts(), MEEDDistances(tr))
+}
+
+// InstallOracle installs precomputed oracle tables. The tables are
+// read-only once installed, so parallel simulation shards can share
+// one computation of the O(n³) MEED metric across their views.
+func (v *View) InstallOracle(totals []int, meedDist [][]float64) {
+	v.totals = totals
+	v.meedDist = meedDist
 }
 
 // MEEDDistances computes the Minimum Estimated Expected Delay metric

@@ -4,7 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
+	"repro/internal/engine"
 	"repro/internal/stgraph"
 	"repro/internal/trace"
 )
@@ -39,6 +41,13 @@ type Options struct {
 	// deliver every table path at once. Zero means 4·K, which is
 	// comfortably beyond the paper's T2000 measurement point.
 	MaxArrivals int
+
+	// Workers caps the number of goroutines EnumerateAll uses to
+	// enumerate a message batch concurrently. Zero means
+	// runtime.GOMAXPROCS(0); 1 forces a serial batch. Each message is
+	// enumerated independently over the shared immutable space-time
+	// graph, so results are identical for every worker count.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -72,17 +81,33 @@ func (o Options) validate() error {
 var ErrTooManyNodes = errors.New("pathenum: trace exceeds 128 nodes")
 
 // Enumerator enumerates valid paths for messages over one trace. The
-// space-time graph is built once and shared across messages.
+// space-time graph is built once and shared across messages. An
+// Enumerator is safe for concurrent use: every Enumerate call draws
+// its mutable scratch from an internal pool, so goroutines may share
+// one Enumerator (or call EnumerateAll, which fans a batch out
+// itself).
 type Enumerator struct {
 	tr  *trace.Trace
 	g   *stgraph.Graph
 	opt Options
 
-	// Scratch reused across Enumerate calls (an Enumerator is not safe
-	// for concurrent use).
+	// Per-call scratch, pooled so sequential calls reuse their
+	// allocations and concurrent calls never share state.
+	pool sync.Pool
+}
+
+// scratch is the mutable per-Enumerate state.
+type scratch struct {
 	visited  []int // BFS epoch marks
 	epoch    int
 	mergeBuf []*Path
+}
+
+func (e *Enumerator) getScratch() *scratch {
+	if sc, ok := e.pool.Get().(*scratch); ok {
+		return sc
+	}
+	return &scratch{visited: make([]int, e.tr.NumNodes)}
 }
 
 // NewEnumerator prepares path enumeration over tr.
@@ -98,12 +123,7 @@ func NewEnumerator(tr *trace.Trace, opt Options) (*Enumerator, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Enumerator{
-		tr:      tr,
-		g:       g,
-		opt:     opt,
-		visited: make([]int, tr.NumNodes),
-	}, nil
+	return &Enumerator{tr: tr, g: g, opt: opt}, nil
 }
 
 // Graph exposes the underlying space-time graph.
@@ -138,6 +158,9 @@ func (e *Enumerator) Enumerate(msg Message) (*Result, error) {
 	if msg.Start < 0 || msg.Start >= e.tr.Horizon {
 		return nil, fmt.Errorf("pathenum: start time %g outside [0,%g)", msg.Start, e.tr.Horizon)
 	}
+
+	sc := e.getScratch()
+	defer e.pool.Put(sc)
 
 	res := &Result{Msg: msg, Delta: e.g.Delta}
 	table := make([][]*Path, n)
@@ -174,7 +197,7 @@ func (e *Enumerator) Enumerate(msg Message) (*Result, error) {
 				if p.Hops >= bound {
 					break
 				}
-				queue = e.extendBFS(res, p, s, queue, table, cands, thresh)
+				queue = e.extendBFS(sc, res, p, s, queue, table, cands, thresh)
 				if len(res.Arrivals) >= e.opt.MaxArrivals {
 					res.Exhausted = true
 					return res, nil
@@ -187,7 +210,7 @@ func (e *Enumerator) Enumerate(msg Message) (*Result, error) {
 		// ties, preserving shorter durations).
 		for i := 0; i < n; i++ {
 			if len(cands[i]) > 0 {
-				table[i] = e.mergeShortest(table[i], cands[i])
+				table[i] = e.mergeShortest(sc, table[i], cands[i])
 				cands[i] = cands[i][:0]
 			}
 		}
@@ -220,6 +243,31 @@ func (e *Enumerator) Enumerate(msg Message) (*Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// EnumerateAll enumerates a batch of messages concurrently over the
+// shared space-time graph, using up to Options.Workers goroutines
+// (zero means runtime.GOMAXPROCS(0); 1 forces a serial batch).
+//
+// Results are returned in message order and are identical for every
+// worker count: each message's enumeration is an independent dynamic
+// program over the immutable graph with private scratch state. On
+// failure EnumerateAll reports the error of the lowest-index invalid
+// message — exactly what a serial loop would have hit first.
+func (e *Enumerator) EnumerateAll(msgs []Message) ([]*Result, error) {
+	out := make([]*Result, len(msgs))
+	err := engine.MapErr(e.opt.Workers, len(msgs), func(i int) error {
+		r, err := e.Enumerate(msgs[i])
+		if err != nil {
+			return fmt.Errorf("message %d: %w", i, err)
+		}
+		out[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Sentinel thresholds: skipAll marks nodes whose paths cannot
@@ -314,11 +362,11 @@ func (e *Enumerator) computeThresholds(s int, dst trace.NodeID, table [][]*Path,
 // deeper acceptance is still possible under the per-node thresholds —
 // hopeless subtrees cost no allocation. The passed queue's backing
 // array is reused; the (emptied) queue is returned.
-func (e *Enumerator) extendBFS(res *Result, p *Path, s int, queue []*Path, table, cands [][]*Path, thresh []int) []*Path {
-	e.epoch++
-	epoch := e.epoch
+func (e *Enumerator) extendBFS(sc *scratch, res *Result, p *Path, s int, queue []*Path, table, cands [][]*Path, thresh []int) []*Path {
+	sc.epoch++
+	epoch := sc.epoch
 	dst := res.Msg.Dst
-	e.visited[p.Node] = epoch
+	sc.visited[p.Node] = epoch
 	queue = append(queue[:0], p)
 	delivered := false
 	for len(queue) > 0 {
@@ -332,10 +380,10 @@ func (e *Enumerator) extendBFS(res *Result, p *Path, s int, queue []*Path, table
 				}
 				continue
 			}
-			if e.visited[nb] == epoch || p.members.has(nb) {
+			if sc.visited[nb] == epoch || p.members.has(nb) {
 				continue
 			}
-			e.visited[nb] = epoch
+			sc.visited[nb] = epoch
 			childHops := q.Hops + 1
 			// The merge keeps existing paths on hop ties, so a full
 			// table only accepts strictly shorter candidates.
@@ -361,10 +409,10 @@ func (e *Enumerator) extendBFS(res *Result, p *Path, s int, queue []*Path, table
 // order) keeping the width shortest by hop count; existing paths win
 // ties. The merge runs through a reused scratch buffer and writes back
 // into existing's storage, so a node's table allocates at most once.
-func (e *Enumerator) mergeShortest(existing, cands []*Path) []*Path {
+func (e *Enumerator) mergeShortest(sc *scratch, existing, cands []*Path) []*Path {
 	width := e.opt.TableWidth
 	sort.SliceStable(cands, func(i, j int) bool { return cands[i].Hops < cands[j].Hops })
-	buf := e.mergeBuf[:0]
+	buf := sc.mergeBuf[:0]
 	i, j := 0, 0
 	for len(buf) < width && (i < len(existing) || j < len(cands)) {
 		if j >= len(cands) || (i < len(existing) && existing[i].Hops <= cands[j].Hops) {
@@ -375,7 +423,7 @@ func (e *Enumerator) mergeShortest(existing, cands []*Path) []*Path {
 			j++
 		}
 	}
-	e.mergeBuf = buf
+	sc.mergeBuf = buf
 	existing = append(existing[:0], buf...)
 	return existing
 }

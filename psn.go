@@ -15,6 +15,25 @@
 //   - the experiment harness that regenerates every figure of the
 //     paper's evaluation (NewFigureHarness, Figures, …).
 //
+// # Concurrency and determinism
+//
+// The three hot paths — Simulate, Enumerator.EnumerateAll, and the
+// figure harness — fan independent messages out across a worker pool.
+// Each carries a Workers knob (SimConfig.Workers,
+// EnumOptions.Workers, FigureParams.Workers): zero means
+// runtime.GOMAXPROCS(0), one forces a serial run, and any other value
+// caps the goroutine count.
+//
+// The determinism contract: results are byte-identical for every
+// worker count. Workers never share mutable state or a *rand.Rand —
+// they share only immutable inputs (the trace, the space-time graph,
+// the simulator's oracle tables), write results into per-message
+// slots, and derive any per-item randomness from a per-index seed
+// split (DeriveSeed). Forwarding algorithms with internal state
+// parallelize by cloning (one instance per worker, each replaying the
+// full contact stream); an algorithm that cannot clone makes the
+// simulator fall back to a serial run rather than risk divergence.
+//
 // See examples/quickstart for a five-minute tour.
 package psn
 
@@ -23,6 +42,7 @@ import (
 
 	"repro/internal/analytic"
 	"repro/internal/dtnsim"
+	"repro/internal/engine"
 	"repro/internal/figures"
 	"repro/internal/forward"
 	"repro/internal/pathenum"
@@ -164,6 +184,12 @@ func Simulate(cfg SimConfig) (*SimResult, error) { return dtnsim.Run(cfg) }
 func SimWorkload(t *Trace, rate, genHorizon float64, seed int64) []SimMessage {
 	return dtnsim.Workload(t, rate, genHorizon, seed)
 }
+
+// DeriveSeed splits a base seed into an independent per-item seed
+// (splitmix64 mixing). Parallel experiments use it to give every work
+// item its own RNG stream instead of sharing one generator, keeping
+// results identical for any worker count.
+func DeriveSeed(base int64, index int) int64 { return engine.DeriveSeed(base, index) }
 
 // PaperAlgorithms returns the six algorithms compared in §6.
 func PaperAlgorithms() []Algorithm { return forward.PaperSet() }
