@@ -5,20 +5,24 @@ package psn_test
 // data end to end on reduced parameters, plus micro-benchmarks for the
 // core substrates. The per-figure benchmarks exercise exactly the code
 // the psn-figures binary runs at paper scale.
+//
+// The key hot-path benchmarks (graph index build, enumeration, the
+// epidemic workload) are mirrored by cmd/psn-bench, which emits a
+// machine-readable BENCH_<date>.json snapshot for the perf trajectory;
+// CI additionally enforces an allocation budget on
+// BenchmarkEnumerateDevTrace.
 
 import (
 	"io"
-	"math/rand"
 	"testing"
 
 	psn "repro"
 	"repro/internal/analytic"
+	"repro/internal/benchsuite"
 	"repro/internal/dtnsim"
 	"repro/internal/figures"
 	"repro/internal/forward"
 	"repro/internal/pathenum"
-	"repro/internal/stgraph"
-	"repro/internal/trace"
 	"repro/internal/tracegen"
 )
 
@@ -101,58 +105,22 @@ func BenchmarkTraceGeneration(b *testing.B) {
 	}
 }
 
-func BenchmarkSpaceTimeGraphBuild(b *testing.B) {
-	tr := tracegen.MustGenerate(tracegen.Conext0912)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := stgraph.New(tr, stgraph.DefaultDelta); err != nil {
-			b.Fatal(err)
-		}
-	}
+// The shared hot-path benchmark bodies live in internal/benchsuite so
+// psn-bench's BENCH_<date>.json snapshots measure exactly these
+// workloads.
+
+func BenchmarkSpaceTimeGraphBuild(b *testing.B)        { benchsuite.SpaceTimeGraphBuild(b) }
+func BenchmarkEnumerateDevTrace(b *testing.B)          { benchsuite.EnumerateDevTrace(b) }
+func BenchmarkEnumerateConferenceMessage(b *testing.B) { benchsuite.EnumerateConferenceMessage(b) }
+
+// BenchmarkEnumerateNarrowTable is the ablation AB2 configuration
+// (TableWidth ≪ K): tables saturate early, so nearly all work runs
+// through the per-step threshold index rather than path extension.
+func BenchmarkEnumerateNarrowTable(b *testing.B) {
+	benchsuite.EnumerateConference(b, pathenum.Options{K: 2000, TableWidth: 16})
 }
 
-func BenchmarkEnumerateDevTrace(b *testing.B) {
-	tr := tracegen.Dev(1)
-	enum, err := pathenum.NewEnumerator(tr, pathenum.Options{K: 200})
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := enum.Enumerate(pathenum.Message{Src: 0, Dst: 17, Start: 0}); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-func BenchmarkEnumerateConferenceMessage(b *testing.B) {
-	tr := tracegen.MustGenerate(tracegen.Conext0912)
-	enum, err := pathenum.NewEnumerator(tr, pathenum.Options{K: 2000})
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := enum.Enumerate(pathenum.Message{Src: 25, Dst: 60, Start: 600}); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-func BenchmarkSimulateEpidemic(b *testing.B) {
-	tr := tracegen.MustGenerate(tracegen.Conext0912)
-	msgs := dtnsim.Workload(tr, 0.25, tr.Horizon*2/3, 1)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := dtnsim.Run(dtnsim.Config{Trace: tr, Algorithm: forward.Epidemic{}, Messages: msgs}); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
+func BenchmarkSimulateEpidemic(b *testing.B) { benchsuite.SimulateEpidemic(b) }
 
 // benchmarkRunWorkers is the paper's Poisson-workload simulation (the
 // repo's hottest loop) at a fixed worker count; the Serial/Parallel
@@ -174,35 +142,8 @@ func benchmarkRunWorkers(b *testing.B, workers int) {
 func BenchmarkRunSerial(b *testing.B)   { benchmarkRunWorkers(b, 1) }
 func BenchmarkRunParallel(b *testing.B) { benchmarkRunWorkers(b, 0) } // GOMAXPROCS workers
 
-// benchmarkEnumerateAllWorkers enumerates one message batch over the
-// shared conference space-time graph at a fixed worker count.
-func benchmarkEnumerateAllWorkers(b *testing.B, workers int) {
-	tr := tracegen.MustGenerate(tracegen.Conext0912)
-	enum, err := pathenum.NewEnumerator(tr, pathenum.Options{K: 500, Workers: workers})
-	if err != nil {
-		b.Fatal(err)
-	}
-	rng := rand.New(rand.NewSource(42))
-	msgs := make([]pathenum.Message, 16)
-	for i := range msgs {
-		src := trace.NodeID(rng.Intn(tr.NumNodes))
-		dst := trace.NodeID(rng.Intn(tr.NumNodes - 1))
-		if dst >= src {
-			dst++
-		}
-		msgs[i] = pathenum.Message{Src: src, Dst: dst, Start: rng.Float64() * tr.Horizon / 2}
-	}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := enum.EnumerateAll(msgs); err != nil {
-			b.Fatal(err)
-		}
-	}
-}
-
-func BenchmarkEnumerateAllSerial(b *testing.B)   { benchmarkEnumerateAllWorkers(b, 1) }
-func BenchmarkEnumerateAllParallel(b *testing.B) { benchmarkEnumerateAllWorkers(b, 0) }
+func BenchmarkEnumerateAllSerial(b *testing.B)   { benchsuite.EnumerateAllWorkers(1)(b) }
+func BenchmarkEnumerateAllParallel(b *testing.B) { benchsuite.EnumerateAllWorkers(0)(b) }
 
 // BenchmarkHarnessPrecompute runs the figure harness's parallel
 // precompute stage end to end at reduced scale.

@@ -1,0 +1,116 @@
+// Command psn-bench runs the repository's key performance benchmarks
+// and writes a machine-readable snapshot (ns/op, B/op, allocs/op) so
+// the perf trajectory can be tracked across PRs:
+//
+//	psn-bench                  # writes BENCH_<date>.json
+//	psn-bench -o perf.json     # custom output path
+//	psn-bench -match Enumerate # run a subset
+//	psn-bench -list            # print benchmark names and exit
+//
+// The benchmark bodies are shared with bench_test.go via
+// internal/benchsuite (graph index build, single-message and batch
+// path enumeration, the epidemic simulation workload); each runs
+// through testing.Benchmark with the default 1 s benchtime.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/benchsuite"
+)
+
+// record is one benchmark's JSON row.
+type record struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// snapshot is the emitted file layout.
+type snapshot struct {
+	Date       string   `json:"date"`
+	GoVersion  string   `json:"go_version"`
+	GOOS       string   `json:"goos"`
+	GOARCH     string   `json:"goarch"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Benchmarks []record `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "", "output path (default BENCH_<date>.json)")
+	match := flag.String("match", "", "regexp selecting benchmarks to run (default all)")
+	list := flag.Bool("list", false, "list benchmark names and exit")
+	flag.Parse()
+
+	all := benchsuite.Specs()
+	if *list {
+		for _, s := range all {
+			fmt.Println(s.Name)
+		}
+		return
+	}
+	var re *regexp.Regexp
+	if *match != "" {
+		var err error
+		if re, err = regexp.Compile(*match); err != nil {
+			fmt.Fprintf(os.Stderr, "psn-bench: bad -match: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	snap := snapshot{
+		Date:       time.Now().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	for _, s := range all {
+		if re != nil && !re.MatchString(s.Name) {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "running %s...\n", s.Name)
+		r := testing.Benchmark(s.Run)
+		if r.N == 0 {
+			// testing.Benchmark swallows b.Fatal and returns a zero
+			// result; don't write a corrupted trajectory point.
+			fmt.Fprintf(os.Stderr, "psn-bench: %s failed\n", s.Name)
+			os.Exit(1)
+		}
+		rec := record{
+			Name:        s.Name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		fmt.Fprintf(os.Stderr, "  %12.0f ns/op %12d B/op %9d allocs/op\n",
+			rec.NsPerOp, rec.BytesPerOp, rec.AllocsPerOp)
+		snap.Benchmarks = append(snap.Benchmarks, rec)
+	}
+
+	path := *out
+	if path == "" {
+		path = fmt.Sprintf("BENCH_%s.json", snap.Date)
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "psn-bench: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "psn-bench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(path)
+}

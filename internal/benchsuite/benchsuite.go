@@ -1,0 +1,131 @@
+// Package benchsuite defines the repository's key hot-path benchmarks
+// once, shared by the `go test -bench` suite (bench_test.go) and the
+// psn-bench snapshot tool, so the perf trajectory in BENCH_<date>.json
+// always measures exactly the workload CI benchmarks and budgets.
+package benchsuite
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dtnsim"
+	"repro/internal/forward"
+	"repro/internal/pathenum"
+	"repro/internal/stgraph"
+	"repro/internal/trace"
+	"repro/internal/tracegen"
+)
+
+// Spec is one named benchmark.
+type Spec struct {
+	Name string
+	Run  func(b *testing.B)
+}
+
+// Specs returns the shared benchmark list.
+func Specs() []Spec {
+	return []Spec{
+		{"SpaceTimeGraphBuild", SpaceTimeGraphBuild},
+		{"EnumerateDevTrace", EnumerateDevTrace},
+		{"EnumerateConferenceMessage", EnumerateConferenceMessage},
+		{"EnumerateAllSerial", EnumerateAllWorkers(1)},
+		{"EnumerateAllParallel", EnumerateAllWorkers(0)},
+		{"SimulateEpidemic", SimulateEpidemic},
+	}
+}
+
+// SpaceTimeGraphBuild indexes the densest conference dataset.
+func SpaceTimeGraphBuild(b *testing.B) {
+	tr := tracegen.MustGenerate(tracegen.Conext0912)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := stgraph.New(tr, stgraph.DefaultDelta); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// EnumerateDevTrace enumerates one message on the small development
+// trace — the allocation-budget benchmark in CI.
+func EnumerateDevTrace(b *testing.B) {
+	tr := tracegen.Dev(1)
+	enum, err := pathenum.NewEnumerator(tr, pathenum.Options{K: 200})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := enum.Enumerate(pathenum.Message{Src: 0, Dst: 17, Start: 0}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// EnumerateConferenceMessage enumerates one explosion-scale message
+// (paper K = 2000) on a conference dataset.
+func EnumerateConferenceMessage(b *testing.B) {
+	EnumerateConference(b, pathenum.Options{K: 2000})
+}
+
+// EnumerateConference enumerates the fixed conference message under
+// custom enumeration options (bench_test.go's AB2 narrow-table arm
+// reuses the same workload with TableWidth 16).
+func EnumerateConference(b *testing.B, opt pathenum.Options) {
+	tr := tracegen.MustGenerate(tracegen.Conext0912)
+	enum, err := pathenum.NewEnumerator(tr, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := enum.Enumerate(pathenum.Message{Src: 25, Dst: 60, Start: 600}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// EnumerateAllWorkers enumerates a fixed 16-message batch over the
+// shared conference space-time graph at the given worker count.
+func EnumerateAllWorkers(workers int) func(b *testing.B) {
+	return func(b *testing.B) {
+		tr := tracegen.MustGenerate(tracegen.Conext0912)
+		enum, err := pathenum.NewEnumerator(tr, pathenum.Options{K: 500, Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(42))
+		msgs := make([]pathenum.Message, 16)
+		for i := range msgs {
+			src := trace.NodeID(rng.Intn(tr.NumNodes))
+			dst := trace.NodeID(rng.Intn(tr.NumNodes - 1))
+			if dst >= src {
+				dst++
+			}
+			msgs[i] = pathenum.Message{Src: src, Dst: dst, Start: rng.Float64() * tr.Horizon / 2}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := enum.EnumerateAll(msgs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// SimulateEpidemic runs the paper's Poisson workload under epidemic
+// forwarding.
+func SimulateEpidemic(b *testing.B) {
+	tr := tracegen.MustGenerate(tracegen.Conext0912)
+	msgs := dtnsim.Workload(tr, 0.25, tr.Horizon*2/3, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dtnsim.Run(dtnsim.Config{Trace: tr, Algorithm: forward.Epidemic{}, Messages: msgs}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

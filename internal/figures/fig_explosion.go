@@ -370,12 +370,7 @@ func (h *Harness) ComputeFig14() ([]HopRateRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	rates := st.Trace.Rates()
-	var paths []*pathenum.Path
-	for _, r := range st.Results {
-		paths = append(paths, r.Arrivals...)
-	}
-	return pathenum.SummarizeHopRates(pathenum.HopRates(paths, rates), stats.Z99), nil
+	return pathenum.SummarizeHopRates(pathenum.HopRates(st.Paths(), st.Trace.Rates()), stats.Z99), nil
 }
 
 func renderFig14(h *Harness, w io.Writer) error {
@@ -408,13 +403,8 @@ func (h *Harness) ComputeFig15() ([]RatioRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	rates := st.Trace.Rates()
-	var paths []*pathenum.Path
-	for _, r := range st.Results {
-		paths = append(paths, r.Arrivals...)
-	}
 	var out []RatioRow
-	for i, ratios := range pathenum.RateRatios(paths, rates) {
+	for i, ratios := range pathenum.RateRatios(st.Paths(), st.Trace.Rates()) {
 		if len(ratios) == 0 {
 			continue
 		}

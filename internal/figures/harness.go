@@ -139,6 +139,26 @@ type Study struct {
 	Trace   *trace.Trace
 	Cl      *trace.Classifier
 	Results []*pathenum.Result
+
+	pathsOnce sync.Once
+	paths     []*pathenum.Path
+}
+
+// Paths returns every delivered path of the study, pooled across
+// results in message order. The pool is built once and shared by the
+// path-structure figures (14, 15); callers must not modify it.
+func (s *Study) Paths() []*pathenum.Path {
+	s.pathsOnce.Do(func() {
+		total := 0
+		for _, r := range s.Results {
+			total += len(r.Arrivals)
+		}
+		s.paths = make([]*pathenum.Path, 0, total)
+		for _, r := range s.Results {
+			s.paths = append(s.paths, r.Arrivals...)
+		}
+	})
+	return s.paths
 }
 
 // Summaries returns the per-message explosion summaries at threshold n.

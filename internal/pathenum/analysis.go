@@ -94,8 +94,10 @@ func (r *Result) GrowthRate() float64 {
 // vector (trace.Rates).
 func HopRates(paths []*Path, rates []float64) [][]float64 {
 	var out [][]float64
+	var buf []trace.NodeID
 	for _, p := range paths {
-		for h, node := range p.Nodes() {
+		buf = p.AppendNodes(buf[:0])
+		for h, node := range buf {
 			for len(out) <= h {
 				out = append(out, nil)
 			}
@@ -130,8 +132,10 @@ func SummarizeHopRates(hopRates [][]float64, z float64) []HopRateSummary {
 // Transitions whose predecessor has zero rate are skipped.
 func RateRatios(paths []*Path, rates []float64) [][]float64 {
 	var out [][]float64
+	var buf []trace.NodeID
 	for _, p := range paths {
-		nodes := p.Nodes()
+		nodes := p.AppendNodes(buf[:0])
+		buf = nodes
 		for i := 0; i+1 < len(nodes); i++ {
 			prev := rates[nodes[i]]
 			next := rates[nodes[i+1]]

@@ -3,7 +3,6 @@ package pathenum
 import (
 	"errors"
 	"fmt"
-	"sort"
 	"sync"
 
 	"repro/internal/engine"
@@ -81,11 +80,14 @@ func (o Options) validate() error {
 var ErrTooManyNodes = errors.New("pathenum: trace exceeds 128 nodes")
 
 // Enumerator enumerates valid paths for messages over one trace. The
-// space-time graph is built once and shared across messages. An
+// indexed space-time graph — CSR adjacency plus per-step contact
+// components and intra-component hop distances — is built once and
+// shared across messages, so the per-message dynamic program reads
+// precomputed indexes instead of re-deriving per-step structure. An
 // Enumerator is safe for concurrent use: every Enumerate call draws
-// its mutable scratch from an internal pool, so goroutines may share
-// one Enumerator (or call EnumerateAll, which fans a batch out
-// itself).
+// its mutable scratch (tables, queues, and a path arena) from an
+// internal pool, so goroutines may share one Enumerator (or call
+// EnumerateAll, which fans a batch out itself).
 type Enumerator struct {
 	tr  *trace.Trace
 	g   *stgraph.Graph
@@ -96,18 +98,56 @@ type Enumerator struct {
 	pool sync.Pool
 }
 
-// scratch is the mutable per-Enumerate state.
+// entry is one table or queue slot: an arena handle with the path's
+// hop count alongside, so the merge, threshold and acceptance checks
+// never touch the arena. Entries are pointer-free, keeping every
+// per-node table outside the garbage collector's write barriers.
+type entry struct {
+	idx  int32
+	hops int32
+}
+
+// scratch is the mutable per-Enumerate state. Everything the dynamic
+// program touches per call lives here, so a warmed-up scratch makes
+// Enumerate allocate only its result.
 type scratch struct {
 	visited  []int // BFS epoch marks
 	epoch    int
-	mergeBuf []*Path
+	mergeBuf []entry
+	table    [][]entry // per-node k-shortest tables (rows reused across calls)
+	cands    [][]entry // per-node candidate lists for the current step
+	thresh   []int     // per-node extension thresholds
+	caps     []int     // per-member table capacities (threshold scratch)
+	queue    []entry   // BFS ring buffer
+	sortBuf  []entry   // counting-sort output buffer
+	arrivals []int32   // arena handles of delivered paths, arrival order
+	arena    pathArena // slab allocator for this call's path tree
 }
 
 func (e *Enumerator) getScratch() *scratch {
 	if sc, ok := e.pool.Get().(*scratch); ok {
 		return sc
 	}
-	return &scratch{visited: make([]int, e.tr.NumNodes)}
+	n := e.tr.NumNodes
+	return &scratch{
+		visited: make([]int, n),
+		table:   make([][]entry, n),
+		cands:   make([][]entry, n),
+		thresh:  make([]int, n),
+	}
+}
+
+// prepare resets the scratch for a fresh enumeration. The arena rewind
+// is safe here because every path that escaped the previous call was
+// materialized out of the arena before the scratch returned to the
+// pool.
+func (sc *scratch) prepare() {
+	for i := range sc.table {
+		sc.table[i] = sc.table[i][:0]
+		sc.cands[i] = sc.cands[i][:0]
+	}
+	sc.arrivals = sc.arrivals[:0]
+	sc.arena.reset()
 }
 
 // NewEnumerator prepares path enumeration over tr.
@@ -160,18 +200,32 @@ func (e *Enumerator) Enumerate(msg Message) (*Result, error) {
 	}
 
 	sc := e.getScratch()
-	defer e.pool.Put(sc)
+	res := e.run(sc, msg)
+	// The arrival chains live in the scratch's arena as index-linked
+	// pnodes; materialize them into one compact slab of public Path
+	// values before the scratch (and arena) goes back to the pool.
+	materializeArrivals(sc, res)
+	e.pool.Put(sc)
+	return res, nil
+}
+
+// run executes the dynamic program with scratch sc. Arrivals are
+// recorded as arena handles in sc.arrivals; the caller materializes
+// them into res before releasing sc.
+func (e *Enumerator) run(sc *scratch, msg Message) *Result {
+	sc.prepare()
+	n := e.tr.NumNodes
 
 	res := &Result{Msg: msg, Delta: e.g.Delta}
-	table := make([][]*Path, n)
+	table := sc.table
 	s0 := e.g.StepOf(msg.Start)
-	table[msg.Src] = []*Path{newSource(msg.Src, s0)}
+	table[msg.Src] = append(table[msg.Src], entry{idx: sc.arena.source(msg.Src, s0)})
 
-	cands := make([][]*Path, n)
-	var queue []*Path
-	thresh := make([]int, n)
+	cands := sc.cands
+	thresh := sc.thresh
 
 	for s := s0; s < e.g.Steps; s++ {
+		v := e.g.View(s)
 		// Compute, for each node with contacts, the largest resident
 		// hop count that could still contribute this step: a path p at
 		// node i can only matter if some reachable node v could accept
@@ -181,7 +235,7 @@ func (e *Enumerator) Enumerate(msg Message) (*Result, error) {
 		// wholesale — this keeps the saturated steady state (every
 		// table full of short paths) cheap between explosion onset and
 		// trace end.
-		e.computeThresholds(s, msg.Dst, table, thresh)
+		e.computeThresholds(sc, v, msg.Dst, table, thresh)
 
 		// Phase 1: extend every resident path through the zero-weight
 		// closure of this step, collecting candidates and arrivals.
@@ -194,13 +248,13 @@ func (e *Enumerator) Enumerate(msg Message) (*Result, error) {
 			for _, p := range paths {
 				// Tables are sorted by hop count: once one resident
 				// path is bounded out, the rest are too.
-				if p.Hops >= bound {
+				if int(p.hops) >= bound {
 					break
 				}
-				queue = e.extendBFS(sc, res, p, s, queue, table, cands, thresh)
-				if len(res.Arrivals) >= e.opt.MaxArrivals {
+				e.extendBFS(sc, v, msg.Dst, p, s, table, cands, thresh)
+				if len(sc.arrivals) >= e.opt.MaxArrivals {
 					res.Exhausted = true
-					return res, nil
+					return res
 				}
 			}
 		}
@@ -219,30 +273,70 @@ func (e *Enumerator) Enumerate(msg Message) (*Result, error) {
 		// the destination this step has just delivered; any table path
 		// containing such a node could only deliver strictly later and
 		// is invalid (§4.1).
-		if dn := e.g.Neighbors(s, msg.Dst); len(dn) > 0 {
+		if dn := v.Neighbors(msg.Dst); len(dn) > 0 {
 			var delivered nodeSet
 			for _, d := range dn {
 				delivered = delivered.with(d)
 			}
 			alive := false
 			for i := 0; i < n; i++ {
-				table[i] = pruneContaining(table[i], delivered)
+				table[i] = pruneContaining(&sc.arena, table[i], delivered)
 				alive = alive || len(table[i]) > 0
 			}
 			if !alive {
 				// Every surviving path contained a node that met the
 				// destination (e.g. the source itself); no further
 				// valid path can exist.
-				return res, nil
+				return res
 			}
 		}
 
-		if len(res.Arrivals) >= e.opt.K {
+		if len(sc.arrivals) >= e.opt.K {
 			res.Exhausted = true
-			return res, nil
+			return res
 		}
 	}
-	return res, nil
+	return res
+}
+
+// materializeArrivals converts the arrival handles into public Path
+// chains, copied out of the arena into one slab owned by the result.
+// The copy unshares common prefixes but preserves every observable
+// property (Nodes, Steps, Hops, String); in exchange the arena — which
+// also holds the millions of intermediate table paths — is reusable
+// the moment the call returns.
+func materializeArrivals(sc *scratch, res *Result) {
+	if len(sc.arrivals) == 0 {
+		return
+	}
+	a := &sc.arena
+	total := 0
+	for _, idx := range sc.arrivals {
+		total += int(a.at(idx).hops) + 1
+	}
+	slab := make([]Path, total)
+	res.Arrivals = make([]*Path, len(sc.arrivals))
+	base := 0
+	for i, idx := range sc.arrivals {
+		h := int(a.at(idx).hops)
+		j := base + h
+		for cur := idx; cur >= 0; {
+			pn := a.at(cur)
+			slab[j] = Path{
+				Node:    trace.NodeID(pn.node),
+				Step:    int(pn.step),
+				Hops:    int(pn.hops),
+				members: pn.members,
+			}
+			cur = pn.parent
+			j--
+		}
+		for k := base + 1; k <= base+h; k++ {
+			slab[k].parent = &slab[k-1]
+		}
+		res.Arrivals[i] = &slab[base+h]
+		base += h + 1
+	}
 }
 
 // EnumerateAll enumerates a batch of messages concurrently over the
@@ -285,72 +379,58 @@ const (
 // count of v's worst table entry (unbounded when the table has room);
 // the threshold is max over v of cap(v) − dist(i, v). Nodes in the
 // destination's component always extend (deliveries bypass tables).
-func (e *Enumerator) computeThresholds(s int, dst trace.NodeID, table [][]*Path, thresh []int) {
+//
+// The component member lists and pairwise hop distances come straight
+// from the graph's step index — the pre-index implementation re-ran
+// one BFS (with a heap-allocated depth map) per member, per step, per
+// message to derive the same numbers.
+func (e *Enumerator) computeThresholds(sc *scratch, v stgraph.View, dst trace.NodeID, table [][]entry, thresh []int) {
 	for i := range thresh {
 		thresh[i] = skipAll
 	}
-	var comp, queue []trace.NodeID
-	for start := 0; start < len(thresh); start++ {
-		if thresh[start] != skipAll || len(e.g.Neighbors(s, trace.NodeID(start))) == 0 {
-			continue
-		}
-		// Collect the component of start.
-		comp = comp[:0]
-		queue = append(queue[:0], trace.NodeID(start))
-		thresh[start] = skipAll + 1 // mark visited
-		hasDst := false
-		for len(queue) > 0 {
-			cur := queue[0]
-			queue = queue[1:]
-			comp = append(comp, cur)
-			if cur == dst {
-				hasDst = true
-			}
-			for _, nb := range e.g.Neighbors(s, cur) {
-				if thresh[nb] == skipAll {
-					thresh[nb] = skipAll + 1
-					queue = append(queue, nb)
-				}
-			}
-		}
-		if hasDst {
-			for _, v := range comp {
-				thresh[v] = extendAll
+	dstComp := v.ComponentOf(dst)
+	for c := 0; c < v.NumComponents(); c++ {
+		members := v.Members(c)
+		if c == dstComp {
+			for _, x := range members {
+				thresh[x] = extendAll
 			}
 			continue
 		}
-		// Per-member threshold via one BFS per member (components are
-		// small: typically a handful of nodes).
-		for _, src := range comp {
-			queue = append(queue[:0], src)
+		// cap per member, and how many members still have table room.
+		caps := sc.caps[:0]
+		room := 0
+		for _, x := range members {
+			if t := table[x]; len(t) >= e.opt.TableWidth {
+				caps = append(caps, int(t[len(t)-1].hops))
+			} else {
+				caps = append(caps, extendAll)
+				room++
+			}
+		}
+		sc.caps = caps
+		m := len(members)
+		for j, x := range members {
+			othersRoom := room
+			if caps[j] == extendAll {
+				othersRoom--
+			}
+			if othersRoom > 0 {
+				// Some other member's table has room: any extension
+				// depth can still be accepted there.
+				thresh[x] = extendAll
+				continue
+			}
 			best := skipAll
-			depth := make(map[trace.NodeID]int, len(comp))
-			depth[src] = 0
-			for len(queue) > 0 {
-				cur := queue[0]
-				queue = queue[1:]
-				d := depth[cur]
-				if cur != src {
-					capacity := extendAll
-					if t := table[cur]; len(t) >= e.opt.TableWidth {
-						capacity = t[len(t)-1].Hops
-					}
-					if capacity == extendAll {
-						best = extendAll
-						break
-					}
-					if b := capacity - d; b > best {
-						best = b
-					}
+			for k := 0; k < m; k++ {
+				if k == j {
+					continue
 				}
-				for _, nb := range e.g.Neighbors(s, cur) {
-					if _, ok := depth[nb]; !ok {
-						depth[nb] = d + 1
-						queue = append(queue, nb)
-					}
+				if b := caps[k] - v.Dist(c, j, k); b > best {
+					best = b
 				}
 			}
-			thresh[src] = best
+			thresh[x] = best
 		}
 	}
 }
@@ -360,40 +440,44 @@ func (e *Enumerator) computeThresholds(s int, dst trace.NodeID, table [][]*Path,
 // table entries; reaching the destination records an arrival. A child
 // path is only materialized when its target table accepts it or a
 // deeper acceptance is still possible under the per-node thresholds —
-// hopeless subtrees cost no allocation. The passed queue's backing
-// array is reused; the (emptied) queue is returned.
-func (e *Enumerator) extendBFS(sc *scratch, res *Result, p *Path, s int, queue []*Path, table, cands [][]*Path, thresh []int) []*Path {
+// hopeless subtrees cost no arena slot. The BFS queue is the scratch's
+// ring buffer: a head index walks it in place instead of reslicing the
+// front away (which would leak capacity and force regrowth).
+func (e *Enumerator) extendBFS(sc *scratch, v stgraph.View, dst trace.NodeID, p entry, s int, table, cands [][]entry, thresh []int) {
 	sc.epoch++
 	epoch := sc.epoch
-	dst := res.Msg.Dst
-	sc.visited[p.Node] = epoch
-	queue = append(queue[:0], p)
+	a := &sc.arena
+	rootMembers := a.at(p.idx).members
+	sc.visited[a.at(p.idx).node] = epoch
+	queue := append(sc.queue[:0], p)
 	delivered := false
-	for len(queue) > 0 {
-		q := queue[0]
-		queue = queue[1:]
-		for _, nb := range e.g.Neighbors(s, q.Node) {
+	for head := 0; head < len(queue); head++ {
+		q := queue[head]
+		qn := a.at(q.idx)
+		qNode := trace.NodeID(qn.node)
+		qMembers := qn.members
+		for _, nb := range v.Neighbors(qNode) {
 			if nb == dst {
 				if !delivered {
 					delivered = true
-					res.Arrivals = append(res.Arrivals, q.extend(dst, s))
+					sc.arrivals = append(sc.arrivals, a.extend(q.idx, qMembers, q.hops, dst, s))
 				}
 				continue
 			}
-			if sc.visited[nb] == epoch || p.members.has(nb) {
+			if sc.visited[nb] == epoch || rootMembers.has(nb) {
 				continue
 			}
 			sc.visited[nb] = epoch
-			childHops := q.Hops + 1
+			childHops := q.hops + 1
 			// The merge keeps existing paths on hop ties, so a full
 			// table only accepts strictly shorter candidates.
 			t := table[nb]
-			accept := len(t) < e.opt.TableWidth || t[len(t)-1].Hops > childHops
-			deeper := thresh[nb] == extendAll || thresh[nb] > childHops
+			accept := len(t) < e.opt.TableWidth || t[len(t)-1].hops > childHops
+			deeper := thresh[nb] == extendAll || thresh[nb] > int(childHops)
 			if !accept && !deeper {
 				continue
 			}
-			child := q.extend(nb, s)
+			child := entry{idx: a.extend(q.idx, qMembers, q.hops, nb, s), hops: childHops}
 			if accept {
 				cands[nb] = append(cands[nb], child)
 			}
@@ -402,20 +486,20 @@ func (e *Enumerator) extendBFS(sc *scratch, res *Result, p *Path, s int, queue [
 			}
 		}
 	}
-	return queue[:0]
+	sc.queue = queue[:0]
 }
 
 // mergeShortest merges existing (sorted by hops) with cands (creation
 // order) keeping the width shortest by hop count; existing paths win
 // ties. The merge runs through a reused scratch buffer and writes back
 // into existing's storage, so a node's table allocates at most once.
-func (e *Enumerator) mergeShortest(sc *scratch, existing, cands []*Path) []*Path {
+func (e *Enumerator) mergeShortest(sc *scratch, existing, cands []entry) []entry {
 	width := e.opt.TableWidth
-	sort.SliceStable(cands, func(i, j int) bool { return cands[i].Hops < cands[j].Hops })
+	sc.sortByHops(cands)
 	buf := sc.mergeBuf[:0]
 	i, j := 0, 0
 	for len(buf) < width && (i < len(existing) || j < len(cands)) {
-		if j >= len(cands) || (i < len(existing) && existing[i].Hops <= cands[j].Hops) {
+		if j >= len(cands) || (i < len(existing) && existing[i].hops <= cands[j].hops) {
 			buf = append(buf, existing[i])
 			i++
 		} else {
@@ -428,18 +512,52 @@ func (e *Enumerator) mergeShortest(sc *scratch, existing, cands []*Path) []*Path
 	return existing
 }
 
+// sortByHops stable-sorts a candidate list by hop count. Most lists
+// are a handful of entries (one per resident path that reached the
+// node this step), where insertion sort wins; wide-table steps can
+// queue thousands of candidates per node, which fall through to a
+// stable counting sort — hop counts are bounded by the path length,
+// which the loop-freedom invariant caps at maxNodes.
+func (sc *scratch) sortByHops(paths []entry) {
+	if len(paths) <= 24 {
+		for i := 1; i < len(paths); i++ {
+			p := paths[i]
+			j := i - 1
+			for j >= 0 && paths[j].hops > p.hops {
+				paths[j+1] = paths[j]
+				j--
+			}
+			paths[j+1] = p
+		}
+		return
+	}
+	var pos [maxNodes]int32
+	for _, p := range paths {
+		pos[p.hops]++
+	}
+	sum := int32(0)
+	for h := range pos {
+		pos[h], sum = sum, sum+pos[h]
+	}
+	if cap(sc.sortBuf) < len(paths) {
+		sc.sortBuf = make([]entry, len(paths))
+	}
+	buf := sc.sortBuf[:len(paths)]
+	for _, p := range paths {
+		buf[pos[p.hops]] = p
+		pos[p.hops]++
+	}
+	copy(paths, buf)
+}
+
 // pruneContaining removes paths intersecting the delivered node set,
 // in place.
-func pruneContaining(paths []*Path, delivered nodeSet) []*Path {
+func pruneContaining(a *pathArena, paths []entry, delivered nodeSet) []entry {
 	out := paths[:0]
 	for _, p := range paths {
-		if !p.members.intersects(delivered) {
+		if !a.at(p.idx).members.intersects(delivered) {
 			out = append(out, p)
 		}
-	}
-	// Release dropped tails for the garbage collector.
-	for i := len(out); i < len(paths); i++ {
-		paths[i] = nil
 	}
 	return out
 }

@@ -73,6 +73,22 @@ func (p *Path) Nodes() []trace.NodeID {
 	return out
 }
 
+// AppendNodes appends the node sequence from source to final node to
+// dst and returns the extended slice. It lets bulk path analyses reuse
+// one buffer instead of allocating a fresh slice per path.
+func (p *Path) AppendNodes(dst []trace.NodeID) []trace.NodeID {
+	n := p.Hops + 1
+	for i := 0; i < n; i++ {
+		dst = append(dst, 0)
+	}
+	i := len(dst)
+	for q := p; q != nil; q = q.parent {
+		i--
+		dst[i] = q.Node
+	}
+	return dst
+}
+
 // Steps returns the step at which each node on the path was reached,
 // parallel to Nodes.
 func (p *Path) Steps() []int {
@@ -113,4 +129,97 @@ func (p *Path) extend(n trace.NodeID, s int) *Path {
 // newSource creates the zero-hop path holding only the source tuple.
 func newSource(n trace.NodeID, s int) *Path {
 	return &Path{Node: n, Step: s, members: nodeSet{}.with(n)}
+}
+
+// pnode is the arena-internal representation of one path tuple. It is
+// deliberately pointer-free: the parent link is an arena index, so the
+// garbage collector neither scans nor write-barriers the enumeration's
+// path tree — the hot loop creates one pnode per table candidate and
+// BFS extension, millions per message on a conference trace. Node,
+// step and hop counts fit int32 comfortably (node IDs are bounded by
+// maxNodes, hops by the loop-freedom invariant).
+type pnode struct {
+	members nodeSet
+	parent  int32 // arena index of the prefix, -1 for the source tuple
+	node    int32
+	step    int32
+	hops    int32
+}
+
+// pathArena is a chunked slab allocator for pnodes, indexed by a dense
+// int32 handle. Arenas live in the enumerator's pooled scratch and are
+// rewound between calls; arrival chains are materialized into public
+// Path values before the rewind.
+type pathArena struct {
+	chunks [][]pnode
+	n      int32 // pnodes allocated since the last reset
+}
+
+// arenaShift sizes chunks at 1024 pnodes (32 KiB): well under typical
+// L2, while making the per-pnode allocation cost ~1/1024 of a heap
+// allocation.
+const (
+	arenaShift = 10
+	arenaChunk = 1 << arenaShift
+	arenaMask  = arenaChunk - 1
+)
+
+// at returns the pnode with handle i. The pointer stays valid across
+// later allocations (chunks never move).
+func (a *pathArena) at(i int32) *pnode {
+	return &a.chunks[i>>arenaShift][i&arenaMask]
+}
+
+// alloc returns the handle and slot of a fresh pnode. The slot holds
+// stale bytes from a previous rewind; callers overwrite it entirely.
+func (a *pathArena) alloc() (int32, *pnode) {
+	ci := int(a.n) >> arenaShift
+	if ci == len(a.chunks) {
+		a.chunks = append(a.chunks, make([]pnode, arenaChunk))
+	}
+	i := a.n
+	a.n++
+	return i, &a.chunks[ci][int(i)&arenaMask]
+}
+
+// source allocates the zero-hop path holding only the source tuple.
+func (a *pathArena) source(n trace.NodeID, s int) int32 {
+	i, p := a.alloc()
+	*p = pnode{members: nodeSet{}.with(n), parent: -1, node: int32(n), step: int32(s)}
+	return i
+}
+
+// extend allocates the path q plus one hop to node n at step s. The
+// caller supplies q's members and hops (already loaded for the BFS) to
+// spare a second lookup.
+func (a *pathArena) extend(q int32, qMembers nodeSet, qHops int32, n trace.NodeID, s int) int32 {
+	i, p := a.alloc()
+	*p = pnode{
+		members: qMembers.with(n),
+		parent:  q,
+		node:    int32(n),
+		step:    int32(s),
+		hops:    qHops + 1,
+	}
+	return i
+}
+
+// arenaRetainChunks caps the chunks an arena keeps across calls
+// (~32 MB of pnodes). An explosion-scale enumeration can touch tens of
+// millions of paths; retaining its full arena in the scratch pool
+// would pin that peak forever, so overflow chunks are released to the
+// garbage collector and reallocated (one allocation per 1024 pnodes)
+// by the rare calls that need them again.
+const arenaRetainChunks = 1024
+
+// reset rewinds the arena, keeping up to arenaRetainChunks chunks for
+// reuse. Only valid once no handle issued since the last reset is
+// referenced anymore.
+func (a *pathArena) reset() {
+	if len(a.chunks) > arenaRetainChunks {
+		keep := make([][]pnode, arenaRetainChunks)
+		copy(keep, a.chunks)
+		a.chunks = keep
+	}
+	a.n = 0
 }

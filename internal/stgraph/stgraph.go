@@ -4,10 +4,22 @@
 // iff x and y were in contact at any time during [T−Δ, T); an edge of
 // unit weight connects (x, T) to (x, T+Δ).
 //
-// The graph is stored as one contact adjacency list per step. The
-// zero-weight edges within a step form an undirected contact graph;
-// path enumeration needs its restricted reachability (reachable nodes
-// excluding a forbidden set), provided by Reach.
+// The graph is an immutable index. Each step is backed by a frame: a
+// CSR adjacency (flat offset + neighbor arrays) plus, precomputed once,
+// the step's contact components — component IDs, member lists, and
+// intra-component all-pairs hop distances. Contacts span many Δ-wide
+// steps, so most steps repeat the previous step's contact pattern;
+// identical consecutive steps share one frame, so the component and
+// distance indexes are computed once per distinct pattern rather than
+// once per step (let alone once per enumerated message, as the
+// pre-index enumerator did).
+//
+// Neighbor order is part of the determinism contract: Neighbors lists
+// a node's contacts in first-contact-record order (contacts are sorted
+// by start time), exactly reproducing the adjacency built by the
+// pre-index implementation, so path enumeration visits nodes — and
+// therefore selects representative paths — byte-identically. A second,
+// node-sorted copy of each row serves InContact by binary search.
 //
 // Discretization loses the ordering of contacts within a step: a
 // message may traverse two contacts of the same step even when the
@@ -21,6 +33,7 @@ package stgraph
 import (
 	"fmt"
 	"math"
+	"slices"
 
 	"repro/internal/trace"
 )
@@ -28,21 +41,65 @@ import (
 // DefaultDelta is the paper's discretization step (10 seconds).
 const DefaultDelta = 10.0
 
-// Graph is a space-time graph over a trace.
+// Graph is an indexed space-time graph over a trace.
 type Graph struct {
 	NumNodes int
 	Delta    float64
 	Steps    int // number of discrete steps; step s covers [s·Δ, (s+1)·Δ)
 
-	// adj[s] is the contact adjacency of step s: adj[s][x] lists the
-	// nodes in contact with x during [s·Δ, (s+1)·Δ).
-	adj [][][]trace.NodeID
+	frames    []*frame
+	stepFrame []int32 // step -> index into frames
 }
 
-// New discretizes a trace with step delta. Following the paper, step
-// index T covers the half-open interval [T·Δ, (T+1)·Δ): a contact
-// active at any point in that interval produces a zero-weight edge at
-// that step.
+// frame is the shared per-step index: one frame backs every maximal
+// run of consecutive steps with an identical contact pattern.
+type frame struct {
+	// CSR adjacency. Row x is nbrs[offsets[x]:offsets[x+1]], in
+	// first-contact order (the canonical enumeration order); sorted
+	// holds the same rows in ascending node order for binary search.
+	offsets []int32
+	nbrs    []trace.NodeID
+	sorted  []trace.NodeID
+
+	active []trace.NodeID // nodes with at least one contact, ascending
+
+	// Contact components: compID[x] is x's component (-1 when x has no
+	// contacts) and memberIdx[x] its position in the component's member
+	// list.
+	compID    []int32
+	memberIdx []int32
+	comps     []component
+}
+
+// component is one connected component of a frame's contact graph.
+type component struct {
+	members []trace.NodeID // BFS discovery order
+	// dist[i*len(members)+j] is the hop distance between members i and
+	// j (member indices, not node IDs). Components are connected, so
+	// every entry is finite.
+	dist []int32
+}
+
+func (f *frame) row(x trace.NodeID) []trace.NodeID {
+	return f.nbrs[f.offsets[x]:f.offsets[x+1]]
+}
+
+func (f *frame) sortedRow(x trace.NodeID) []trace.NodeID {
+	return f.sorted[f.offsets[x]:f.offsets[x+1]]
+}
+
+// pairRec is one deduplicated contact-pair insertion: key packs the
+// unordered pair (lo<<32 | hi), seq its first-contact rank within the
+// step.
+type pairRec struct {
+	key uint64
+	seq int32
+}
+
+// New discretizes a trace with step delta and builds the step index.
+// Following the paper, step index T covers the half-open interval
+// [T·Δ, (T+1)·Δ): a contact active at any point in that interval
+// produces a zero-weight edge at that step.
 func New(tr *trace.Trace, delta float64) (*Graph, error) {
 	if delta <= 0 {
 		return nil, fmt.Errorf("stgraph: delta %g must be positive", delta)
@@ -52,14 +109,15 @@ func New(tr *trace.Trace, delta float64) (*Graph, error) {
 		steps = 1
 	}
 	g := &Graph{
-		NumNodes: tr.NumNodes,
-		Delta:    delta,
-		Steps:    steps,
-		adj:      make([][][]trace.NodeID, steps),
+		NumNodes:  tr.NumNodes,
+		Delta:     delta,
+		Steps:     steps,
+		stepFrame: make([]int32, steps),
 	}
-	for s := 0; s < steps; s++ {
-		g.adj[s] = make([][]trace.NodeID, tr.NumNodes)
-	}
+
+	// Bucket contact pairs per step, in contact order (contacts are
+	// sorted by start time, so per-step seq ranks are ascending).
+	perStep := make([][]pairRec, steps)
 	for _, c := range tr.Contacts() {
 		first := int(c.Start / delta)
 		last := int(c.End / delta)
@@ -69,26 +127,201 @@ func New(tr *trace.Trace, delta float64) (*Graph, error) {
 		if last >= steps {
 			last = steps - 1
 		}
-		for s := first; s <= last; s++ {
-			// A pair can have several contact records in one step;
-			// dedupe so adjacency lists stay minimal.
-			if g.hasEdge(s, c.A, c.B) {
-				continue
-			}
-			g.adj[s][c.A] = append(g.adj[s][c.A], c.B)
-			g.adj[s][c.B] = append(g.adj[s][c.B], c.A)
+		lo, hi := c.A, c.B
+		if lo > hi {
+			lo, hi = hi, lo
 		}
+		key := uint64(lo)<<32 | uint64(uint32(hi))
+		for s := first; s <= last; s++ {
+			perStep[s] = append(perStep[s], pairRec{key: key, seq: int32(len(perStep[s]))})
+		}
+	}
+
+	// Deduplicate each step (keeping first-occurrence order) and share
+	// one frame across runs of identical consecutive steps.
+	b := newFrameBuilder(tr.NumNodes)
+	emptyFrame := int32(-1)
+	var prev []pairRec
+	for s := 0; s < steps; s++ {
+		pairs := dedupPairs(perStep[s])
+		if len(pairs) == 0 {
+			if emptyFrame < 0 {
+				emptyFrame = int32(len(g.frames))
+				g.frames = append(g.frames, b.build(nil))
+			}
+			g.stepFrame[s] = emptyFrame
+			prev = pairs
+			continue
+		}
+		if s > 0 && samePairs(pairs, prev) {
+			g.stepFrame[s] = g.stepFrame[s-1]
+		} else {
+			g.stepFrame[s] = int32(len(g.frames))
+			g.frames = append(g.frames, b.build(pairs))
+		}
+		prev = pairs
 	}
 	return g, nil
 }
 
-func (g *Graph) hasEdge(s int, a, b trace.NodeID) bool {
-	for _, n := range g.adj[s][a] {
-		if n == b {
-			return true
+// dedupPairs removes repeated pairs (a pair can have several contact
+// records in one step) while preserving first-occurrence order,
+// replacing the pre-index implementation's linear hasEdge scan per
+// insertion with sort-then-dedup.
+func dedupPairs(pairs []pairRec) []pairRec {
+	if len(pairs) < 2 {
+		return pairs
+	}
+	// Stable sort by key keeps equal keys in seq order, so keeping the
+	// first of each run keeps the earliest contact record.
+	slices.SortStableFunc(pairs, func(a, b pairRec) int {
+		switch {
+		case a.key < b.key:
+			return -1
+		case a.key > b.key:
+			return 1
+		}
+		return 0
+	})
+	out := pairs[:1]
+	for _, p := range pairs[1:] {
+		if p.key != out[len(out)-1].key {
+			out = append(out, p)
 		}
 	}
-	return false
+	// Restore insertion order (seq ranks are unique).
+	slices.SortFunc(out, func(a, b pairRec) int { return int(a.seq) - int(b.seq) })
+	return out
+}
+
+// samePairs reports whether two deduplicated steps insert the same
+// pairs in the same order (seq ranks may differ between steps).
+func samePairs(a, b []pairRec) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].key != b[i].key {
+			return false
+		}
+	}
+	return true
+}
+
+// frameBuilder carries reusable scratch across frame builds.
+type frameBuilder struct {
+	n      int
+	degree []int32
+	cursor []int32
+	queue  []trace.NodeID
+}
+
+func newFrameBuilder(n int) *frameBuilder {
+	return &frameBuilder{
+		n:      n,
+		degree: make([]int32, n),
+		cursor: make([]int32, n),
+	}
+}
+
+func (b *frameBuilder) build(pairs []pairRec) *frame {
+	n := b.n
+	f := &frame{
+		offsets:   make([]int32, n+1),
+		compID:    make([]int32, n),
+		memberIdx: make([]int32, n),
+	}
+	deg := b.degree
+	for i := range deg {
+		deg[i] = 0
+	}
+	for _, p := range pairs {
+		a, c := unpack(p.key)
+		deg[a]++
+		deg[c]++
+	}
+	total := int32(0)
+	for x := 0; x < n; x++ {
+		f.offsets[x] = total
+		b.cursor[x] = total
+		total += deg[x]
+	}
+	f.offsets[n] = total
+	f.nbrs = make([]trace.NodeID, total)
+	// Filling both directions in pair-insertion order reproduces the
+	// append order of the pre-index adjacency build exactly.
+	for _, p := range pairs {
+		a, c := unpack(p.key)
+		f.nbrs[b.cursor[a]] = c
+		b.cursor[a]++
+		f.nbrs[b.cursor[c]] = a
+		b.cursor[c]++
+	}
+	f.sorted = make([]trace.NodeID, total)
+	copy(f.sorted, f.nbrs)
+	for x := 0; x < n; x++ {
+		if deg[x] > 0 {
+			f.active = append(f.active, trace.NodeID(x))
+			slices.Sort(f.sortedRow(trace.NodeID(x)))
+		}
+		f.compID[x] = -1
+	}
+	b.buildComponents(f)
+	return f
+}
+
+func unpack(key uint64) (trace.NodeID, trace.NodeID) {
+	return trace.NodeID(key >> 32), trace.NodeID(uint32(key))
+}
+
+// buildComponents labels the frame's contact components and computes
+// each component's all-pairs hop distances (one BFS per member over
+// the component; components are small, typically a handful of nodes).
+func (b *frameBuilder) buildComponents(f *frame) {
+	for _, start := range f.active {
+		if f.compID[start] >= 0 {
+			continue
+		}
+		id := int32(len(f.comps))
+		var members []trace.NodeID
+		queue := append(b.queue[:0], start)
+		f.compID[start] = id
+		for head := 0; head < len(queue); head++ {
+			cur := queue[head]
+			f.memberIdx[cur] = int32(len(members))
+			members = append(members, cur)
+			for _, nb := range f.row(cur) {
+				if f.compID[nb] < 0 {
+					f.compID[nb] = id
+					queue = append(queue, nb)
+				}
+			}
+		}
+		b.queue = queue[:0]
+
+		m := len(members)
+		dist := make([]int32, m*m)
+		for i := range dist {
+			dist[i] = -1
+		}
+		for j, src := range members {
+			row := dist[j*m : (j+1)*m]
+			row[j] = 0
+			queue = append(b.queue[:0], src)
+			for head := 0; head < len(queue); head++ {
+				cur := queue[head]
+				d := row[f.memberIdx[cur]]
+				for _, nb := range f.row(cur) {
+					if row[f.memberIdx[nb]] < 0 {
+						row[f.memberIdx[nb]] = d + 1
+						queue = append(queue, nb)
+					}
+				}
+			}
+			b.queue = queue[:0]
+		}
+		f.comps = append(f.comps, component{members: members, dist: dist})
+	}
 }
 
 // StepOf returns the step index whose interval contains time t
@@ -107,68 +340,73 @@ func (g *Graph) StepOf(t float64) int {
 // TimeOf returns the start time of step s.
 func (g *Graph) TimeOf(s int) float64 { return float64(s) * g.Delta }
 
-// Neighbors returns the nodes in contact with x at step s. The
-// returned slice is shared and must not be modified.
+// frameAt returns the frame backing step s.
+func (g *Graph) frameAt(s int) *frame { return g.frames[g.stepFrame[s]] }
+
+// NumFrames returns the number of distinct step frames (consecutive
+// steps with identical contact patterns share one frame).
+func (g *Graph) NumFrames() int { return len(g.frames) }
+
+// FrameOf returns the index of the frame backing step s. Two steps
+// with equal FrameOf values share all per-step indexes.
+func (g *Graph) FrameOf(s int) int { return int(g.stepFrame[s]) }
+
+// Neighbors returns the nodes in contact with x at step s, in
+// first-contact order (the canonical enumeration order). The returned
+// slice is shared and must not be modified.
 func (g *Graph) Neighbors(s int, x trace.NodeID) []trace.NodeID {
-	return g.adj[s][x]
+	return g.frameAt(s).row(x)
 }
 
 // InContact reports whether nodes a and b share a zero-weight edge at
-// step s.
+// step s, by binary search over a's sorted row.
 func (g *Graph) InContact(s int, a, b trace.NodeID) bool {
-	return g.hasEdge(s, a, b)
+	_, ok := slices.BinarySearch(g.frameAt(s).sortedRow(a), b)
+	return ok
 }
 
-// Reach appends to dst the nodes reachable from src at step s via
-// zero-weight edges without passing through (or into) any node for
-// which forbidden returns true. src itself is not appended. This is
-// the "distinct extensions ... via paths of zero weight" step of the
-// paper's enumeration algorithm: a message can traverse several
-// contacts within one Δ interval, but never through a node already on
-// its path.
-//
-// The visited scratch slice must have length NumNodes and be false
-// everywhere; it is restored before returning.
-func (g *Graph) Reach(s int, src trace.NodeID, forbidden func(trace.NodeID) bool, visited []bool, dst []trace.NodeID) []trace.NodeID {
-	var queue []trace.NodeID
-	visited[src] = true
-	queue = append(queue, src)
-	touched := []trace.NodeID{src}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		for _, nb := range g.adj[s][cur] {
-			if visited[nb] || forbidden(nb) {
-				continue
-			}
-			visited[nb] = true
-			touched = append(touched, nb)
-			dst = append(dst, nb)
-			queue = append(queue, nb)
-		}
-	}
-	for _, n := range touched {
-		visited[n] = false
-	}
-	return dst
-}
-
-// ActiveNodes returns the nodes with at least one contact at step s.
+// ActiveNodes returns the nodes with at least one contact at step s,
+// ascending. The returned slice is shared and must not be modified.
 func (g *Graph) ActiveNodes(s int) []trace.NodeID {
-	var out []trace.NodeID
-	for n := 0; n < g.NumNodes; n++ {
-		if len(g.adj[s][n]) > 0 {
-			out = append(out, trace.NodeID(n))
-		}
-	}
-	return out
+	return g.frameAt(s).active
 }
 
 // EdgeCount returns the number of distinct zero-weight edges at step s.
 func (g *Graph) EdgeCount(s int) int {
-	total := 0
-	for n := 0; n < g.NumNodes; n++ {
-		total += len(g.adj[s][n])
-	}
-	return total / 2
+	return len(g.frameAt(s).nbrs) / 2
+}
+
+// View exposes step s's precomputed contact-component index.
+type View struct {
+	f *frame
+}
+
+// View returns the component index of step s.
+func (g *Graph) View(s int) View { return View{f: g.frameAt(s)} }
+
+// Neighbors returns the nodes in contact with x, in first-contact
+// order. The returned slice is shared and must not be modified.
+func (v View) Neighbors(x trace.NodeID) []trace.NodeID { return v.f.row(x) }
+
+// NumComponents returns the number of contact components (isolated
+// nodes belong to none).
+func (v View) NumComponents() int { return len(v.f.comps) }
+
+// ComponentOf returns x's component index, or -1 when x has no
+// contacts this step.
+func (v View) ComponentOf(x trace.NodeID) int { return int(v.f.compID[x]) }
+
+// Members returns a component's nodes. The returned slice is shared
+// and must not be modified.
+func (v View) Members(c int) []trace.NodeID { return v.f.comps[c].members }
+
+// MemberIndex returns x's position within its component's Members.
+func (v View) MemberIndex(x trace.NodeID) int { return int(v.f.memberIdx[x]) }
+
+// Dist returns the hop distance between members i and j (member
+// indices within component c). Components are connected, so the
+// distance is always finite.
+func (v View) Dist(c, i, j int) int {
+	comp := &v.f.comps[c]
+	return int(comp.dist[i*len(comp.members)+j])
 }

@@ -126,55 +126,25 @@ func TestStepOfAndTimeOf(t *testing.T) {
 	}
 }
 
-func TestReachSimpleChain(t *testing.T) {
-	// 0-1, 1-2, 2-3 all in contact at step 0: reach from 0 is {1,2,3}.
-	tr := mk(t, 5, 10, []trace.Contact{
-		{A: 0, B: 1, Start: 0, End: 10},
-		{A: 1, B: 2, Start: 0, End: 10},
-		{A: 2, B: 3, Start: 0, End: 10},
-	})
-	g, _ := New(tr, 10)
-	visited := make([]bool, 5)
-	got := g.Reach(0, 0, func(trace.NodeID) bool { return false }, visited, nil)
-	if len(got) != 3 {
-		t.Fatalf("Reach = %v, want 3 nodes", got)
-	}
-	seen := map[trace.NodeID]bool{}
-	for _, n := range got {
-		seen[n] = true
-	}
-	for _, want := range []trace.NodeID{1, 2, 3} {
-		if !seen[want] {
-			t.Errorf("Reach missing %d", want)
-		}
-	}
-	for _, v := range visited {
-		if v {
-			t.Fatalf("visited scratch not restored")
-		}
-	}
-}
-
-func TestReachRespectsForbidden(t *testing.T) {
-	// Chain 0-1-2; forbidding 1 cuts off 2.
+// Neighbor order is the determinism contract: rows list contacts in
+// first-contact-record order (contacts sorted by start time), not in
+// node order.
+func TestNeighborInsertionOrder(t *testing.T) {
 	tr := mk(t, 4, 10, []trace.Contact{
-		{A: 0, B: 1, Start: 0, End: 10},
-		{A: 1, B: 2, Start: 0, End: 10},
+		{A: 0, B: 3, Start: 0, End: 10},
+		{A: 0, B: 1, Start: 2, End: 10},
+		{A: 0, B: 2, Start: 4, End: 10},
 	})
 	g, _ := New(tr, 10)
-	visited := make([]bool, 4)
-	got := g.Reach(0, 0, func(n trace.NodeID) bool { return n == 1 }, visited, nil)
-	if len(got) != 0 {
-		t.Errorf("Reach through forbidden node: %v", got)
+	got := g.Neighbors(0, 0)
+	want := []trace.NodeID{3, 1, 2}
+	if len(got) != len(want) {
+		t.Fatalf("Neighbors = %v, want %v", got, want)
 	}
-}
-
-func TestReachDisconnected(t *testing.T) {
-	tr := mk(t, 4, 10, []trace.Contact{{A: 2, B: 3, Start: 0, End: 10}})
-	g, _ := New(tr, 10)
-	visited := make([]bool, 4)
-	if got := g.Reach(0, 0, func(trace.NodeID) bool { return false }, visited, nil); len(got) != 0 {
-		t.Errorf("isolated node reached %v", got)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Neighbors = %v, want %v (first-contact order)", got, want)
+		}
 	}
 }
 
@@ -187,22 +157,121 @@ func TestActiveNodes(t *testing.T) {
 	}
 }
 
-// Property: Reach never returns the source, duplicates, or forbidden
-// nodes, and the visited scratch is always restored.
-func TestReachProperties(t *testing.T) {
+// Steps with identical contact patterns must share one frame; a
+// pattern change must start a new one.
+func TestFrameSharing(t *testing.T) {
+	tr := mk(t, 3, 60, []trace.Contact{
+		{A: 0, B: 1, Start: 0, End: 30},  // steps 0,1,2
+		{A: 1, B: 2, Start: 40, End: 60}, // steps 4,5
+	})
+	g, _ := New(tr, 10)
+	if g.FrameOf(0) != g.FrameOf(1) || g.FrameOf(1) != g.FrameOf(2) {
+		t.Errorf("steps 0-2 should share a frame: %d %d %d",
+			g.FrameOf(0), g.FrameOf(1), g.FrameOf(2))
+	}
+	if g.FrameOf(4) != g.FrameOf(5) {
+		t.Errorf("steps 4-5 should share a frame")
+	}
+	if g.FrameOf(0) == g.FrameOf(4) || g.FrameOf(0) == g.FrameOf(3) {
+		t.Errorf("distinct patterns share a frame")
+	}
+	if g.NumFrames() != 3 { // {0-1}, empty, {1-2}
+		t.Errorf("NumFrames = %d, want 3", g.NumFrames())
+	}
+}
+
+func TestComponentsChainAndIsolated(t *testing.T) {
+	// Step 0: chain 0-1-2-3 plus pair 4-5; node 6 isolated.
+	tr := mk(t, 7, 10, []trace.Contact{
+		{A: 0, B: 1, Start: 0, End: 10},
+		{A: 1, B: 2, Start: 0, End: 10},
+		{A: 2, B: 3, Start: 0, End: 10},
+		{A: 4, B: 5, Start: 0, End: 10},
+	})
+	g, _ := New(tr, 10)
+	v := g.View(0)
+	if v.NumComponents() != 2 {
+		t.Fatalf("NumComponents = %d, want 2", v.NumComponents())
+	}
+	if v.ComponentOf(6) != -1 {
+		t.Errorf("isolated node has component %d", v.ComponentOf(6))
+	}
+	chain := v.ComponentOf(0)
+	for _, x := range []trace.NodeID{1, 2, 3} {
+		if v.ComponentOf(x) != chain {
+			t.Errorf("node %d not in chain component", x)
+		}
+	}
+	if v.ComponentOf(4) == chain || v.ComponentOf(4) != v.ComponentOf(5) {
+		t.Errorf("pair component wrong")
+	}
+	if got := len(v.Members(chain)); got != 4 {
+		t.Errorf("chain component has %d members, want 4", got)
+	}
+	// Hop distances along the chain.
+	for _, tc := range []struct {
+		a, b trace.NodeID
+		want int
+	}{{0, 1, 1}, {0, 2, 2}, {0, 3, 3}, {1, 3, 2}, {2, 2, 0}} {
+		d := v.Dist(chain, v.MemberIndex(tc.a), v.MemberIndex(tc.b))
+		if d != tc.want {
+			t.Errorf("Dist(%d,%d) = %d, want %d", tc.a, tc.b, d, tc.want)
+		}
+	}
+}
+
+// naiveStep rebuilds one step's adjacency the way the pre-index
+// implementation did: append in contact order with a linear has-edge
+// scan per insertion.
+func naiveStep(tr *trace.Trace, delta float64, steps, s int) [][]trace.NodeID {
+	adj := make([][]trace.NodeID, tr.NumNodes)
+	for _, c := range tr.Contacts() {
+		first := int(c.Start / delta)
+		last := int(c.End / delta)
+		if c.End > c.Start && float64(last)*delta == c.End {
+			last--
+		}
+		if last >= steps {
+			last = steps - 1
+		}
+		if s < first || s > last {
+			continue
+		}
+		dup := false
+		for _, n := range adj[c.A] {
+			if n == c.B {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		adj[c.A] = append(adj[c.A], c.B)
+		adj[c.B] = append(adj[c.B], c.A)
+	}
+	return adj
+}
+
+// Property: every step's CSR rows equal the pre-index adjacency build
+// (same neighbors, same order), InContact agrees with row membership,
+// and components partition exactly the active nodes with symmetric,
+// triangle-consistent distances.
+func TestIndexMatchesNaiveBuildProperty(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		const n = 12
 		var cs []trace.Contact
-		for i := 0; i < 20; i++ {
+		for i := 0; i < 25; i++ {
 			a := trace.NodeID(rng.Intn(n))
 			b := trace.NodeID(rng.Intn(n))
 			if a == b {
 				continue
 			}
-			cs = append(cs, trace.Contact{A: a, B: b, Start: 0, End: 10})
+			s := rng.Float64() * 90
+			cs = append(cs, trace.Contact{A: a, B: b, Start: s, End: s + rng.Float64()*30})
 		}
-		tr, err := trace.New("q", n, 10, cs)
+		tr, err := trace.New("q", n, 120, cs)
 		if err != nil {
 			return false
 		}
@@ -210,25 +279,64 @@ func TestReachProperties(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		src := trace.NodeID(rng.Intn(n))
-		forbidden := trace.NodeID(rng.Intn(n))
-		visited := make([]bool, n)
-		got := g.Reach(0, src, func(x trace.NodeID) bool { return x == forbidden }, visited, nil)
-		seen := map[trace.NodeID]bool{}
-		for _, x := range got {
-			if x == src || x == forbidden || seen[x] {
-				return false
+		for s := 0; s < g.Steps; s++ {
+			adj := naiveStep(tr, 10, g.Steps, s)
+			for x := 0; x < n; x++ {
+				row := g.Neighbors(s, trace.NodeID(x))
+				if len(row) != len(adj[x]) {
+					return false
+				}
+				for i := range row {
+					if row[i] != adj[x][i] {
+						return false
+					}
+				}
+				for _, nb := range row {
+					if !g.InContact(s, trace.NodeID(x), nb) || !g.InContact(s, nb, trace.NodeID(x)) {
+						return false
+					}
+				}
 			}
-			seen[x] = true
-		}
-		for _, v := range visited {
-			if v {
+			v := g.View(s)
+			seen := 0
+			for c := 0; c < v.NumComponents(); c++ {
+				members := v.Members(c)
+				if len(members) < 2 {
+					return false // components need at least one edge
+				}
+				seen += len(members)
+				for i, a := range members {
+					if v.ComponentOf(a) != c || v.MemberIndex(a) != i {
+						return false
+					}
+					if v.Dist(c, i, i) != 0 {
+						return false
+					}
+					for j := range members {
+						if v.Dist(c, i, j) != v.Dist(c, j, i) {
+							return false
+						}
+					}
+				}
+				// Distance 1 iff in contact.
+				for i, a := range members {
+					for j, b := range members {
+						if i == j {
+							continue
+						}
+						if (v.Dist(c, i, j) == 1) != g.InContact(s, a, b) {
+							return false
+						}
+					}
+				}
+			}
+			if seen != len(g.ActiveNodes(s)) {
 				return false
 			}
 		}
 		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Error(err)
 	}
 }

@@ -6,7 +6,7 @@
 //
 //   - contact traces and synthetic conference datasets
 //     (Trace, Contact, GenerateDataset, DevTrace, …);
-//   - valid-path enumeration on a space-time graph and the
+//   - valid-path enumeration on an indexed space-time graph and the
 //     path-explosion metrics (Enumerator, Result, Explosion);
 //   - the homogeneous analytic model of path explosion
 //     (SolveODE, SimulateJump, MeanClosedForm, …);
@@ -140,7 +140,10 @@ type (
 	Path = pathenum.Path
 	// Explosion is the T1/TE summary of one message.
 	Explosion = pathenum.Explosion
-	// SpaceTimeGraph is the discretized contact graph.
+	// SpaceTimeGraph is the discretized contact graph, stored as an
+	// immutable index: per-step CSR adjacency where consecutive steps
+	// with identical contact patterns share one frame carrying the
+	// step's connected components and intra-component hop distances.
 	SpaceTimeGraph = stgraph.Graph
 )
 
@@ -152,7 +155,10 @@ func NewEnumerator(t *Trace, opt EnumOptions) (*Enumerator, error) {
 	return pathenum.NewEnumerator(t, opt)
 }
 
-// NewSpaceTimeGraph discretizes a trace with step delta.
+// NewSpaceTimeGraph discretizes a trace with step delta and builds the
+// per-step adjacency, component and hop-distance indexes. Enumerators
+// build their own graph; call this only to inspect the structure
+// directly (Neighbors, InContact, ActiveNodes, View, …).
 func NewSpaceTimeGraph(t *Trace, delta float64) (*SpaceTimeGraph, error) {
 	return stgraph.New(t, delta)
 }
