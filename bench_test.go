@@ -122,6 +122,11 @@ func BenchmarkEnumerateNarrowTable(b *testing.B) {
 
 func BenchmarkSimulateEpidemic(b *testing.B) { benchsuite.SimulateEpidemic(b) }
 
+// BenchmarkServeEnumerateWarm is the serving layer's warm-cache
+// request throughput (HTTP round trip included); 1e9 / ns_per_op is
+// the single-connection requests/sec recorded in BENCH_<date>.json.
+func BenchmarkServeEnumerateWarm(b *testing.B) { benchsuite.ServeEnumerateWarm(b) }
+
 // benchmarkRunWorkers is the paper's Poisson-workload simulation (the
 // repo's hottest loop) at a fixed worker count; the Serial/Parallel
 // pair tracks the engine's speedup in the perf trajectory.

@@ -19,16 +19,9 @@ import (
 	"repro/internal/tracegen"
 )
 
-var datasetNames = map[string]psn.Dataset{
-	"infocom-9-12": psn.Infocom0912,
-	"infocom-3-6":  psn.Infocom0336,
-	"conext-9-12":  psn.Conext0912,
-	"conext-3-6":   psn.Conext0336,
-}
-
 func main() {
 	var (
-		dataset   = flag.String("dataset", "", "named dataset: infocom-9-12, infocom-3-6, conext-9-12, conext-3-6")
+		dataset   = flag.String("dataset", "", "named dataset: infocom-9-12, infocom-3-6, conext-9-12, conext-3-6, dev")
 		nodes     = flag.Int("nodes", 98, "number of nodes (custom generator)")
 		station   = flag.Int("stationary", 20, "stationary nodes (custom generator)")
 		horizon   = flag.Float64("horizon", 10800, "trace length in seconds")
@@ -58,11 +51,9 @@ func main() {
 
 func generate(dataset string, waypoint bool, nodes, station int, horizon, maxRate, meanDur, scan float64, seed int64) (*psn.Trace, error) {
 	if dataset != "" {
-		d, ok := datasetNames[dataset]
-		if !ok {
-			return nil, fmt.Errorf("unknown dataset %q", dataset)
-		}
-		return psn.GenerateDataset(d)
+		// The shared registry resolves the name (and lists the
+		// available ones on a miss).
+		return psn.NewRegistry().Trace(dataset)
 	}
 	if waypoint {
 		return psn.GenerateWaypoint(psn.WaypointConfig{

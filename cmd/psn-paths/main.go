@@ -17,13 +17,6 @@ import (
 	psn "repro"
 )
 
-var datasetNames = map[string]psn.Dataset{
-	"infocom-9-12": psn.Infocom0912,
-	"infocom-3-6":  psn.Infocom0336,
-	"conext-9-12":  psn.Conext0912,
-	"conext-3-6":   psn.Conext0336,
-}
-
 func main() {
 	var (
 		dataset  = flag.String("dataset", "infocom-9-12", "named dataset (ignored with -trace)")
@@ -50,7 +43,12 @@ func main() {
 		os.Exit(1)
 	}
 
-	msgs := buildMessages(tr, *src, *dst, *start, *messages, *seed)
+	msgs, err := buildMessages(tr, *src, *dst, *start, *messages, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "psn-paths:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
 	fmt.Printf("%-6s %-6s %8s %10s %10s %8s %10s\n", "src", "dst", "start", "T1 (s)", "TE (s)", "paths", "exploded")
 	for _, m := range msgs {
 		res, err := enum.Enumerate(m)
@@ -80,6 +78,8 @@ func main() {
 	}
 }
 
+// loadTrace reads a trace file, or resolves a named dataset through
+// the shared registry (an unknown name lists the available ones).
 func loadTrace(path, dataset string) (*psn.Trace, error) {
 	if path != "" {
 		f, err := os.Open(path)
@@ -89,16 +89,31 @@ func loadTrace(path, dataset string) (*psn.Trace, error) {
 		defer f.Close()
 		return psn.ReadTrace(f)
 	}
-	d, ok := datasetNames[dataset]
-	if !ok {
-		return nil, fmt.Errorf("unknown dataset %q", dataset)
-	}
-	return psn.GenerateDataset(d)
+	return psn.NewRegistry().Trace(dataset)
 }
 
-func buildMessages(tr *psn.Trace, src, dst int, start float64, n int, seed int64) []psn.PathMessage {
-	if src >= 0 && dst >= 0 {
-		return []psn.PathMessage{{Src: psn.NodeID(src), Dst: psn.NodeID(dst), Start: start}}
+// buildMessages validates the single-message flag combination (-src,
+// -dst, -start) and returns either the one requested message or a
+// random sample. A partial or inconsistent combination is an error —
+// not a silent fall-back to random sampling.
+func buildMessages(tr *psn.Trace, src, dst int, start float64, n int, seed int64) ([]psn.PathMessage, error) {
+	if start < 0 {
+		return nil, fmt.Errorf("-start %g is negative", start)
+	}
+	if (src >= 0) != (dst >= 0) {
+		return nil, fmt.Errorf("-src and -dst must be set together (got -src %d, -dst %d)", src, dst)
+	}
+	if src >= 0 {
+		if src >= tr.NumNodes || dst >= tr.NumNodes {
+			return nil, fmt.Errorf("-src %d / -dst %d outside the trace's %d nodes", src, dst, tr.NumNodes)
+		}
+		if src == dst {
+			return nil, fmt.Errorf("-src and -dst are both %d; a message needs distinct endpoints", src)
+		}
+		if start >= tr.Horizon {
+			return nil, fmt.Errorf("-start %g is past the trace horizon %g", start, tr.Horizon)
+		}
+		return []psn.PathMessage{{Src: psn.NodeID(src), Dst: psn.NodeID(dst), Start: start}}, nil
 	}
 	rng := rand.New(rand.NewSource(seed))
 	msgs := make([]psn.PathMessage, 0, n)
@@ -110,5 +125,5 @@ func buildMessages(tr *psn.Trace, src, dst int, start float64, n int, seed int64
 		}
 		msgs = append(msgs, psn.PathMessage{Src: s, Dst: d, Start: rng.Float64() * tr.Horizon * 2 / 3})
 	}
-	return msgs
+	return msgs, nil
 }

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	psn "repro"
+)
+
+func TestBuildMessagesValidation(t *testing.T) {
+	tr := psn.DevTrace(1)
+	for _, tc := range []struct {
+		name     string
+		src, dst int
+		start    float64
+		wantErr  string
+	}{
+		{"src without dst", 3, -1, 0, "set together"},
+		{"dst without src", -1, 7, 0, "set together"},
+		{"negative start", 0, 17, -5, "negative"},
+		{"negative start random", -1, -1, -5, "negative"},
+		{"equal endpoints", 4, 4, 0, "distinct endpoints"},
+		{"src out of range", 999, 3, 0, "outside"},
+		{"start past horizon", 0, 17, 1e9, "past the trace horizon"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := buildMessages(tr, tc.src, tc.dst, tc.start, 5, 1)
+			if err == nil {
+				t.Fatalf("expected error, got nil")
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestBuildMessagesSingle(t *testing.T) {
+	tr := psn.DevTrace(1)
+	msgs, err := buildMessages(tr, 0, 17, 60, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 1 || msgs[0].Src != 0 || msgs[0].Dst != 17 || msgs[0].Start != 60 {
+		t.Errorf("got %+v, want single message 0->17@60", msgs)
+	}
+}
+
+func TestBuildMessagesRandomSample(t *testing.T) {
+	tr := psn.DevTrace(1)
+	msgs, err := buildMessages(tr, -1, -1, 0, 8, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 8 {
+		t.Fatalf("got %d messages, want 8", len(msgs))
+	}
+	for i, m := range msgs {
+		if m.Src == m.Dst || int(m.Src) >= tr.NumNodes || int(m.Dst) >= tr.NumNodes {
+			t.Errorf("message %d has bad endpoints %+v", i, m)
+		}
+		if m.Start < 0 || m.Start >= tr.Horizon {
+			t.Errorf("message %d start %g outside trace", i, m.Start)
+		}
+	}
+	again, err := buildMessages(tr, -1, -1, 0, 8, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range msgs {
+		if msgs[i] != again[i] {
+			t.Errorf("sampling not deterministic at %d: %+v vs %+v", i, msgs[i], again[i])
+		}
+	}
+}

@@ -1,0 +1,164 @@
+// Command psn-serve exposes the repository's experiments as an HTTP
+// JSON service: path enumeration, forwarding simulation and figure
+// data over a dataset registry with cached per-dataset artifacts.
+//
+// Usage:
+//
+//	psn-serve                                  # serve built-ins on :8080
+//	psn-serve -addr :9090 -workers 8
+//	psn-serve -trace office=office.txt         # add a file-backed dataset
+//	psn-serve -max-inflight 32 -cache-size 512
+//	psn-serve -selfcheck                       # smoke: serve, query, compare, exit
+//
+// Endpoints: GET /datasets, POST /enumerate, POST /simulate,
+// GET /figures, GET /figures/{id}/data, GET /healthz, GET /metrics.
+// See the README's "Serving" section for request shapes and the
+// caching/determinism guarantees.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	psn "repro"
+	"repro/internal/pathenum"
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		workers     = flag.Int("workers", 0, "engine worker goroutines per request (0 = GOMAXPROCS; results are identical)")
+		maxInflight = flag.Int("max-inflight", 0, "max experiment requests in flight (0 = 4x GOMAXPROCS, <0 = unlimited); excess requests get 503")
+		cacheSize   = flag.Int("cache-size", 0, "memoized-result LRU entries (0 = 256, <0 = disable)")
+		selfcheck   = flag.Bool("selfcheck", false, "start on an ephemeral port, verify /healthz and /enumerate against the library, and exit")
+	)
+	reg := psn.NewRegistry()
+	flag.Func("trace", "register a file-backed dataset as name=path (repeatable)", func(v string) error {
+		name, path, ok := strings.Cut(v, "=")
+		if !ok || name == "" || path == "" {
+			return fmt.Errorf("want name=path, got %q", v)
+		}
+		return reg.RegisterFile(name, path)
+	})
+	flag.Parse()
+
+	srv := psn.NewServer(psn.ServeConfig{
+		Registry:    reg,
+		Workers:     *workers,
+		MaxInflight: *maxInflight,
+		CacheSize:   *cacheSize,
+	})
+
+	if *selfcheck {
+		if err := runSelfcheck(srv); err != nil {
+			fmt.Fprintln(os.Stderr, "psn-serve: selfcheck:", err)
+			os.Exit(1)
+		}
+		fmt.Println("selfcheck ok")
+		return
+	}
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("psn-serve: listening on %s (datasets: %s)", *addr, strings.Join(reg.Names(), ", "))
+		errc <- hs.ListenAndServe()
+	}()
+	select {
+	case err := <-errc:
+		log.Fatalf("psn-serve: %v", err)
+	case <-ctx.Done():
+	}
+	// Graceful shutdown: stop accepting, let in-flight requests finish.
+	log.Print("psn-serve: shutting down")
+	shctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shctx); err != nil {
+		log.Fatalf("psn-serve: shutdown: %v", err)
+	}
+}
+
+// runSelfcheck starts the server on an ephemeral port, hits /healthz
+// and one /enumerate request, and verifies the served response is
+// byte-identical to the direct library call — the end-to-end
+// determinism contract, exercised over a real TCP socket.
+func runSelfcheck(srv *psn.Server) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	done := make(chan error, 1)
+	go func() { done <- hs.Serve(ln) }()
+	defer func() {
+		hs.Close()
+		<-done
+	}()
+	base := "http://" + ln.Addr().String()
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		return err
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("/healthz: status %d: %s", resp.StatusCode, body)
+	}
+	var health service.HealthResponse
+	if err := json.Unmarshal(body, &health); err != nil {
+		return fmt.Errorf("/healthz: %v", err)
+	}
+	if health.Status != "ok" {
+		return fmt.Errorf("/healthz: status %q", health.Status)
+	}
+
+	reqBody := `{"dataset":"dev","src":0,"dst":17,"start":0,"k":50}`
+	resp, err = http.Post(base+"/enumerate", "application/json", strings.NewReader(reqBody))
+	if err != nil {
+		return err
+	}
+	served, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("/enumerate: status %d: %s", resp.StatusCode, served)
+	}
+
+	direct, err := srv.Enumerate("dev", []pathenum.Message{{Src: 0, Dst: 17, Start: 0}}, pathenum.Options{K: 50})
+	if err != nil {
+		return fmt.Errorf("direct enumerate: %v", err)
+	}
+	want, err := json.Marshal(direct)
+	if err != nil {
+		return err
+	}
+	want = append(want, '\n')
+	if !bytes.Equal(served, want) {
+		return errors.New("served /enumerate response differs from the direct library call")
+	}
+	if len(direct.Results) != 1 || !direct.Results[0].Found {
+		return errors.New("enumerate found no path on the dev trace")
+	}
+	return nil
+}

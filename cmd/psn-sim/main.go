@@ -19,13 +19,6 @@ import (
 	"repro/internal/trace"
 )
 
-var datasetNames = map[string]psn.Dataset{
-	"infocom-9-12": psn.Infocom0912,
-	"infocom-3-6":  psn.Infocom0336,
-	"conext-9-12":  psn.Conext0912,
-	"conext-3-6":   psn.Conext0336,
-}
-
 func main() {
 	var (
 		dataset  = flag.String("dataset", "infocom-9-12", "named dataset (ignored with -trace)")
@@ -91,6 +84,8 @@ func main() {
 	}
 }
 
+// loadTrace reads a trace file, or resolves a named dataset through
+// the shared registry (an unknown name lists the available ones).
 func loadTrace(path, dataset string) (*psn.Trace, error) {
 	if path != "" {
 		f, err := os.Open(path)
@@ -100,9 +95,5 @@ func loadTrace(path, dataset string) (*psn.Trace, error) {
 		defer f.Close()
 		return psn.ReadTrace(f)
 	}
-	d, ok := datasetNames[dataset]
-	if !ok {
-		return nil, fmt.Errorf("unknown dataset %q", dataset)
-	}
-	return psn.GenerateDataset(d)
+	return psn.NewRegistry().Trace(dataset)
 }

@@ -65,6 +65,36 @@ type Config struct {
 	// forward.Cloner (each worker replays the full contact stream into
 	// its own clone); otherwise the run falls back to serial.
 	Workers int
+
+	// Oracle optionally supplies the precomputed read-only tables for
+	// Trace (see NewOracle). Nil means Run derives them itself; a
+	// non-nil Oracle must have been built from the same Trace. Runs
+	// with and without an Oracle are byte-identical: the tables are
+	// pure functions of the trace.
+	Oracle *Oracle
+}
+
+// Oracle bundles the read-only per-trace tables a simulation replays:
+// whole-trace contact totals, the O(n³) MEED distance metric, and the
+// sorted contact event stream. Run derives them on every call; callers
+// simulating one trace many times (parameter sweeps, a serving layer)
+// build the Oracle once and share it — it is immutable and safe for
+// concurrent use across simulations.
+type Oracle struct {
+	tr     *trace.Trace
+	totals []int
+	meed   [][]float64
+	events []event
+}
+
+// NewOracle precomputes the simulation tables for tr.
+func NewOracle(tr *trace.Trace) *Oracle {
+	return &Oracle{
+		tr:     tr,
+		totals: tr.ContactCounts(),
+		meed:   forward.MEEDDistances(tr),
+		events: contactEventList(tr),
+	}
 }
 
 // Outcome records the fate of one message.
@@ -115,11 +145,15 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	// The oracle tables (whole-trace totals and the O(n³) MEED metric)
-	// are read-only during simulation: compute them once and share
-	// them across every shard.
-	totals := tr.ContactCounts()
-	meed := forward.MEEDDistances(tr)
-	contactEvents := contactEventList(tr)
+	// are read-only during simulation: compute them once — or accept
+	// them precomputed — and share them across every shard.
+	oracle := cfg.Oracle
+	if oracle == nil {
+		oracle = NewOracle(tr)
+	} else if oracle.tr != tr {
+		return nil, fmt.Errorf("dtnsim: oracle was built from a different trace")
+	}
+	totals, meed, contactEvents := oracle.totals, oracle.meed, oracle.events
 
 	workers := engine.Workers(cfg.Workers)
 	if workers > len(cfg.Messages) {

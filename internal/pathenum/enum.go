@@ -49,6 +49,21 @@ type Options struct {
 	Workers int
 }
 
+// Normalized returns the options with every zero field replaced by
+// its documented default (Δ = 10 s, K = 2000, TableWidth = K,
+// MaxArrivals = 4·K; Workers stays as given), or an error if any
+// field is out of range. Two option values describing the same
+// enumeration normalize identically, so callers that key caches on
+// options — e.g. the serving layer — must key on the normalized form
+// rather than re-deriving the defaults.
+func (o Options) Normalized() (Options, error) {
+	o = o.withDefaults()
+	if err := o.validate(); err != nil {
+		return Options{}, err
+	}
+	return o, nil
+}
+
 func (o Options) withDefaults() Options {
 	if o.Delta == 0 {
 		o.Delta = stgraph.DefaultDelta
@@ -152,8 +167,8 @@ func (sc *scratch) prepare() {
 
 // NewEnumerator prepares path enumeration over tr.
 func NewEnumerator(tr *trace.Trace, opt Options) (*Enumerator, error) {
-	opt = opt.withDefaults()
-	if err := opt.validate(); err != nil {
+	opt, err := opt.Normalized()
+	if err != nil {
 		return nil, err
 	}
 	if tr.NumNodes > maxNodes {
@@ -162,6 +177,35 @@ func NewEnumerator(tr *trace.Trace, opt Options) (*Enumerator, error) {
 	g, err := stgraph.New(tr, opt.Delta)
 	if err != nil {
 		return nil, err
+	}
+	return &Enumerator{tr: tr, g: g, opt: opt}, nil
+}
+
+// NewEnumeratorWithGraph prepares path enumeration over tr reusing a
+// space-time graph built earlier (by NewSpaceTimeGraph or another
+// enumerator's Graph method). The graph index is the expensive part of
+// enumerator construction and is immutable, so callers that vary only
+// K, TableWidth or MaxArrivals — e.g. a serving layer answering
+// per-request budgets — can share one graph across many enumerators.
+// The graph must have been built from tr; a non-zero opt.Delta must
+// match the graph's step (zero adopts it).
+func NewEnumeratorWithGraph(tr *trace.Trace, g *stgraph.Graph, opt Options) (*Enumerator, error) {
+	if g == nil {
+		return nil, fmt.Errorf("pathenum: nil graph")
+	}
+	if g.NumNodes != tr.NumNodes {
+		return nil, fmt.Errorf("pathenum: graph built for %d nodes, trace has %d", g.NumNodes, tr.NumNodes)
+	}
+	if opt.Delta != 0 && opt.Delta != g.Delta {
+		return nil, fmt.Errorf("pathenum: options delta %g does not match graph delta %g", opt.Delta, g.Delta)
+	}
+	opt.Delta = g.Delta
+	opt, err := opt.Normalized()
+	if err != nil {
+		return nil, err
+	}
+	if tr.NumNodes > maxNodes {
+		return nil, ErrTooManyNodes
 	}
 	return &Enumerator{tr: tr, g: g, opt: opt}, nil
 }

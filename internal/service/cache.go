@@ -1,0 +1,143 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// memo is a single-flight cache slot: the first caller computes, every
+// other caller for the same key blocks on that computation and shares
+// the result (the same discipline as the figure harness caches).
+type memo[V any] struct {
+	once sync.Once
+	val  V
+	err  error
+}
+
+// memoMap is a size-bounded singleflight cache for the per-dataset
+// artifacts. Several key dimensions (delta, enumeration budgets,
+// harness scale) come straight from request parameters, so the map
+// must not grow with the set of distinct values clients send: beyond
+// max entries the least recently used artifact is evicted and rebuilt
+// on its next request (in-flight users keep their reference; the GC
+// reclaims it when the last one drops). The mutex guards only the
+// lookup and recency bookkeeping; computations for distinct keys run
+// in parallel, and an entry evicted mid-computation simply finishes
+// for its waiters.
+type memoMap[K comparable, V any] struct {
+	mu    sync.Mutex
+	max   int        // entry bound; <= 0 means unbounded
+	order *list.List // front = most recently used; values are *memoEntry[K, V]
+	byKey map[K]*list.Element
+}
+
+type memoEntry[K comparable, V any] struct {
+	key K
+	memo[V]
+}
+
+func newMemoMap[K comparable, V any](max int) *memoMap[K, V] {
+	return &memoMap[K, V]{max: max, order: list.New(), byKey: make(map[K]*list.Element)}
+}
+
+// get returns the value for k, computing it at most once while cached.
+func (c *memoMap[K, V]) get(k K, f func() (V, error)) (V, error) {
+	c.mu.Lock()
+	el, ok := c.byKey[k]
+	if ok {
+		c.order.MoveToFront(el)
+	} else {
+		el = c.order.PushFront(&memoEntry[K, V]{key: k})
+		c.byKey[k] = el
+		for c.max > 0 && c.order.Len() > c.max {
+			back := c.order.Back()
+			c.order.Remove(back)
+			delete(c.byKey, back.Value.(*memoEntry[K, V]).key)
+		}
+	}
+	e := el.Value.(*memoEntry[K, V])
+	c.mu.Unlock()
+	e.once.Do(func() { e.val, e.err = f() })
+	if e.err != nil {
+		// Don't pin failures: a later call may succeed (e.g. a
+		// transient build error), and errored slots would otherwise
+		// occupy the map until evicted.
+		c.mu.Lock()
+		if cur, ok := c.byKey[k]; ok && cur.Value.(*memoEntry[K, V]) == e {
+			c.order.Remove(cur)
+			delete(c.byKey, k)
+		}
+		c.mu.Unlock()
+	}
+	return e.val, e.err
+}
+
+// lruCache is a size-bounded LRU with singleflight semantics: Get
+// returns the cached value for key, or computes it exactly once even
+// under concurrent requests for the same key. Values must be immutable
+// once returned (the serving layer stores marshaled response bytes).
+// Entries evicted while still being computed simply finish for their
+// waiters and are recomputed on the next request.
+type lruCache struct {
+	mu    sync.Mutex
+	max   int
+	order *list.List // front = most recently used; values are *lruEntry
+	byKey map[string]*list.Element
+
+	hits, misses int64
+}
+
+type lruEntry struct {
+	key  string
+	memo memo[[]byte]
+}
+
+// newLRUCache returns an LRU holding at most max entries; max <= 0
+// disables caching (every Get computes).
+func newLRUCache(max int) *lruCache {
+	return &lruCache{max: max, order: list.New(), byKey: make(map[string]*list.Element)}
+}
+
+// Get returns the value for key, computing it via f on a miss. The
+// computation runs outside the cache lock; concurrent callers for the
+// same key share one computation. Errors are not cached.
+func (c *lruCache) Get(key string, f func() ([]byte, error)) ([]byte, error) {
+	if c.max <= 0 {
+		return f()
+	}
+	c.mu.Lock()
+	el, ok := c.byKey[key]
+	if ok {
+		c.order.MoveToFront(el)
+		c.hits++
+	} else {
+		c.misses++
+		el = c.order.PushFront(&lruEntry{key: key})
+		c.byKey[key] = el
+		for c.order.Len() > c.max {
+			back := c.order.Back()
+			c.order.Remove(back)
+			delete(c.byKey, back.Value.(*lruEntry).key)
+		}
+	}
+	e := el.Value.(*lruEntry)
+	c.mu.Unlock()
+
+	e.memo.once.Do(func() { e.memo.val, e.memo.err = f() })
+	if e.memo.err != nil {
+		c.mu.Lock()
+		if cur, ok := c.byKey[key]; ok && cur.Value.(*lruEntry) == e {
+			c.order.Remove(cur)
+			delete(c.byKey, key)
+		}
+		c.mu.Unlock()
+	}
+	return e.memo.val, e.memo.err
+}
+
+// Stats returns the hit/miss counters and current entry count.
+func (c *lruCache) Stats() (hits, misses int64, entries int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.order.Len()
+}

@@ -1,0 +1,183 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestLRUCachesAndEvicts(t *testing.T) {
+	c := newLRUCache(2)
+	var builds atomic.Int64
+	get := func(key string) []byte {
+		t.Helper()
+		v, err := c.Get(key, func() ([]byte, error) {
+			builds.Add(1)
+			return []byte(key), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+
+	get("a")
+	get("b")
+	get("a") // hit; refreshes a
+	if n := builds.Load(); n != 2 {
+		t.Fatalf("builds = %d, want 2", n)
+	}
+	get("c") // evicts b (LRU)
+	get("a") // still cached
+	if n := builds.Load(); n != 3 {
+		t.Fatalf("builds = %d, want 3", n)
+	}
+	get("b") // rebuilt
+	if n := builds.Load(); n != 4 {
+		t.Fatalf("builds = %d, want 4", n)
+	}
+	hits, misses, entries := c.Stats()
+	if entries != 2 {
+		t.Errorf("entries = %d, want 2", entries)
+	}
+	if hits != 2 || misses != 4 {
+		t.Errorf("hits/misses = %d/%d, want 2/4", hits, misses)
+	}
+}
+
+func TestLRUSingleflight(t *testing.T) {
+	c := newLRUCache(8)
+	var builds atomic.Int64
+	release := make(chan struct{})
+	const goroutines = 12
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	results := make([][]byte, goroutines)
+	for i := 0; i < goroutines; i++ {
+		go func(i int) {
+			defer wg.Done()
+			v, err := c.Get("key", func() ([]byte, error) {
+				builds.Add(1)
+				<-release
+				return []byte("value"), nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = v
+		}(i)
+	}
+	close(release)
+	wg.Wait()
+	if n := builds.Load(); n != 1 {
+		t.Errorf("builds = %d, want 1 (singleflight)", n)
+	}
+	for i, v := range results {
+		if string(v) != "value" {
+			t.Errorf("goroutine %d got %q", i, v)
+		}
+	}
+}
+
+func TestLRUErrorsNotCached(t *testing.T) {
+	c := newLRUCache(8)
+	calls := 0
+	boom := errors.New("boom")
+	for i := 0; i < 3; i++ {
+		_, err := c.Get("key", func() ([]byte, error) {
+			calls++
+			if calls < 3 {
+				return nil, boom
+			}
+			return []byte("ok"), nil
+		})
+		if i < 2 && !errors.Is(err, boom) {
+			t.Fatalf("call %d: err = %v, want boom", i, err)
+		}
+		if i == 2 && err != nil {
+			t.Fatalf("call 2: %v", err)
+		}
+	}
+	if calls != 3 {
+		t.Errorf("calls = %d, want 3 (errors retried)", calls)
+	}
+}
+
+func TestLRUDisabled(t *testing.T) {
+	c := newLRUCache(-1)
+	calls := 0
+	for i := 0; i < 3; i++ {
+		if _, err := c.Get("k", func() ([]byte, error) { calls++; return nil, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if calls != 3 {
+		t.Errorf("calls = %d, want 3 (cache disabled)", calls)
+	}
+}
+
+func TestMemoMapSingleflightAndErrorRetry(t *testing.T) {
+	m := newMemoMap[int, string](8)
+	var builds atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err := m.get(1, func() (string, error) {
+				builds.Add(1)
+				return "one", nil
+			})
+			if err != nil || v != "one" {
+				t.Errorf("got %q/%v", v, err)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := builds.Load(); n != 1 {
+		t.Errorf("builds = %d, want 1", n)
+	}
+
+	fails := 0
+	if _, err := m.get(2, func() (string, error) { fails++; return "", fmt.Errorf("nope") }); err == nil {
+		t.Fatal("expected error")
+	}
+	if v, err := m.get(2, func() (string, error) { fails++; return "two", nil }); err != nil || v != "two" {
+		t.Errorf("retry got %q/%v", v, err)
+	}
+	if fails != 2 {
+		t.Errorf("fails = %d, want 2 (error slot released)", fails)
+	}
+}
+
+func TestMemoMapBounded(t *testing.T) {
+	m := newMemoMap[int, int](2)
+	builds := 0
+	get := func(k int) {
+		t.Helper()
+		v, err := m.get(k, func() (int, error) { builds++; return k, nil })
+		if err != nil || v != k {
+			t.Fatalf("get(%d) = %d/%v", k, v, err)
+		}
+	}
+	get(1)
+	get(2)
+	get(1) // hit; refreshes 1
+	if builds != 2 {
+		t.Fatalf("builds = %d, want 2", builds)
+	}
+	get(3) // evicts 2 (LRU)
+	get(1) // still cached
+	if builds != 3 {
+		t.Fatalf("builds = %d, want 3", builds)
+	}
+	get(2) // rebuilt after eviction
+	if builds != 4 {
+		t.Fatalf("builds = %d, want 4 (2 was evicted)", builds)
+	}
+	if n := m.order.Len(); n != 2 {
+		t.Errorf("entries = %d, want 2 (bound held)", n)
+	}
+}

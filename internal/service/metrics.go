@@ -1,0 +1,100 @@
+package service
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// metrics holds the server's operational counters, exposed in
+// Prometheus text format on /metrics. Counters are monotonic atomics;
+// the in-flight gauge tracks the backpressure semaphore.
+type metrics struct {
+	inflight atomic.Int64
+	rejected atomic.Int64 // requests shed by the in-flight limit
+
+	mu       sync.Mutex
+	requests map[string]*int64 // per-endpoint request counter
+	statuses map[int]*int64    // per-status-code response counter
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		requests: make(map[string]*int64),
+		statuses: make(map[int]*int64),
+	}
+}
+
+func (m *metrics) countRequest(endpoint string) {
+	m.mu.Lock()
+	c, ok := m.requests[endpoint]
+	if !ok {
+		c = new(int64)
+		m.requests[endpoint] = c
+	}
+	m.mu.Unlock()
+	atomic.AddInt64(c, 1)
+}
+
+func (m *metrics) countStatus(code int) {
+	m.mu.Lock()
+	c, ok := m.statuses[code]
+	if !ok {
+		c = new(int64)
+		m.statuses[code] = c
+	}
+	m.mu.Unlock()
+	atomic.AddInt64(c, 1)
+}
+
+// write emits the Prometheus text exposition. cache supplies the
+// result-cache counters.
+func (m *metrics) write(w io.Writer, cache *lruCache) {
+	fmt.Fprintf(w, "# HELP psn_requests_total Requests received, by endpoint.\n")
+	fmt.Fprintf(w, "# TYPE psn_requests_total counter\n")
+	m.mu.Lock()
+	endpoints := make([]string, 0, len(m.requests))
+	for e := range m.requests {
+		endpoints = append(endpoints, e)
+	}
+	sort.Strings(endpoints)
+	for _, e := range endpoints {
+		fmt.Fprintf(w, "psn_requests_total{endpoint=%q} %d\n", e, atomic.LoadInt64(m.requests[e]))
+	}
+	codes := make([]int, 0, len(m.statuses))
+	for c := range m.statuses {
+		codes = append(codes, c)
+	}
+	sort.Ints(codes)
+	m.mu.Unlock()
+
+	fmt.Fprintf(w, "# HELP psn_responses_total Responses sent, by HTTP status code.\n")
+	fmt.Fprintf(w, "# TYPE psn_responses_total counter\n")
+	for _, c := range codes {
+		m.mu.Lock()
+		v := atomic.LoadInt64(m.statuses[c])
+		m.mu.Unlock()
+		fmt.Fprintf(w, "psn_responses_total{code=\"%d\"} %d\n", c, v)
+	}
+
+	fmt.Fprintf(w, "# HELP psn_inflight_requests Experiment requests currently executing.\n")
+	fmt.Fprintf(w, "# TYPE psn_inflight_requests gauge\n")
+	fmt.Fprintf(w, "psn_inflight_requests %d\n", m.inflight.Load())
+
+	fmt.Fprintf(w, "# HELP psn_rejected_total Requests shed by the in-flight limit.\n")
+	fmt.Fprintf(w, "# TYPE psn_rejected_total counter\n")
+	fmt.Fprintf(w, "psn_rejected_total %d\n", m.rejected.Load())
+
+	hits, misses, entries := cache.Stats()
+	fmt.Fprintf(w, "# HELP psn_result_cache_hits_total Result-cache hits.\n")
+	fmt.Fprintf(w, "# TYPE psn_result_cache_hits_total counter\n")
+	fmt.Fprintf(w, "psn_result_cache_hits_total %d\n", hits)
+	fmt.Fprintf(w, "# HELP psn_result_cache_misses_total Result-cache misses.\n")
+	fmt.Fprintf(w, "# TYPE psn_result_cache_misses_total counter\n")
+	fmt.Fprintf(w, "psn_result_cache_misses_total %d\n", misses)
+	fmt.Fprintf(w, "# HELP psn_result_cache_entries Result-cache resident entries.\n")
+	fmt.Fprintf(w, "# TYPE psn_result_cache_entries gauge\n")
+	fmt.Fprintf(w, "psn_result_cache_entries %d\n", entries)
+}

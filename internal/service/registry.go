@@ -1,0 +1,185 @@
+// Package service is the HTTP serving layer of the reproduction: it
+// exposes the repository's experiments — path enumeration, forwarding
+// simulation, figure regeneration — as JSON endpoints over a dataset
+// registry and a cache of per-dataset artifacts.
+//
+// The paper's experiments are pure queries over immutable per-dataset
+// inputs (the contact trace, the indexed space-time graph, the
+// simulator's oracle tables), which makes them ideal to serve rather
+// than re-run per invocation: the expensive artifacts are built once
+// behind singleflight and shared by every request, memoized results
+// live behind a size-bounded LRU, and the worker-pool engine underneath
+// multiplexes many small queries onto the machine.
+//
+// # Determinism contract, served
+//
+// A served response decodes to results byte-identical to the
+// equivalent direct library call, for any worker count and request
+// concurrency: handlers call exactly the library entry points a
+// command-line run would, caches store either immutable artifacts or
+// the marshaled response bytes of the first computation, and nothing
+// about scheduling leaks into a response body.
+package service
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/trace"
+	"repro/internal/tracegen"
+)
+
+// Dataset kinds reported by Registry.List.
+const (
+	// KindSynthetic marks a generated dataset (deterministic seed).
+	KindSynthetic = "synthetic"
+	// KindFile marks a trace loaded from a file at registration time.
+	KindFile = "file"
+)
+
+// DatasetInfo describes one registry entry.
+type DatasetInfo struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+}
+
+// Registry maps dataset names to immutable contact traces: the four
+// named synthetic datasets (plus the small "dev" trace), and any
+// traces registered from files or custom generators. Synthetic traces
+// are generated lazily on first use, exactly once, behind singleflight;
+// every caller then shares the same *trace.Trace. A Registry is safe
+// for concurrent use after registration is complete.
+type Registry struct {
+	mu      sync.Mutex
+	entries map[string]*regEntry
+}
+
+type regEntry struct {
+	kind  string
+	build func() (*trace.Trace, error)
+
+	once sync.Once
+	tr   *trace.Trace
+	err  error
+}
+
+// NewRegistry returns a registry pre-populated with the four paper
+// datasets under their CLI names (infocom-9-12, infocom-3-6,
+// conext-9-12, conext-3-6) and the small deterministic "dev" trace.
+func NewRegistry() *Registry {
+	r := &Registry{entries: make(map[string]*regEntry)}
+	for _, d := range tracegen.Datasets {
+		d := d
+		r.mustRegister(builtinName(d), KindSynthetic, func() (*trace.Trace, error) {
+			return tracegen.Generate(d)
+		})
+	}
+	r.mustRegister("dev", KindSynthetic, func() (*trace.Trace, error) {
+		return tracegen.Dev(1), nil
+	})
+	return r
+}
+
+// builtinName is the CLI/HTTP name of a named synthetic dataset
+// ("Infocom06 9-12" → "infocom-9-12").
+func builtinName(d tracegen.Dataset) string {
+	s := strings.ToLower(d.String())
+	s = strings.TrimPrefix(s, "infocom06 ")
+	s = strings.TrimPrefix(s, "conext06 ")
+	switch d {
+	case tracegen.Infocom0912, tracegen.Infocom0336:
+		return "infocom-" + s
+	default:
+		return "conext-" + s
+	}
+}
+
+// Register adds a named dataset with a build function, called at most
+// once on first use. The name must be unused.
+func (r *Registry) Register(name, kind string, build func() (*trace.Trace, error)) error {
+	if name == "" {
+		return fmt.Errorf("service: empty dataset name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.entries[name]; ok {
+		return fmt.Errorf("service: dataset %q already registered", name)
+	}
+	r.entries[name] = &regEntry{kind: kind, build: build}
+	return nil
+}
+
+func (r *Registry) mustRegister(name, kind string, build func() (*trace.Trace, error)) {
+	if err := r.Register(name, kind, build); err != nil {
+		panic(err)
+	}
+}
+
+// RegisterFile loads a trace file (trace.Read format) and registers it
+// under name. The file is read eagerly, so a bad path or malformed
+// trace fails at startup rather than on first request.
+func (r *Registry) RegisterFile(name, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("service: dataset %q: %w", name, err)
+	}
+	defer f.Close()
+	tr, err := trace.Read(f)
+	if err != nil {
+		return fmt.Errorf("service: dataset %q: %w", name, err)
+	}
+	return r.Register(name, KindFile, func() (*trace.Trace, error) { return tr, nil })
+}
+
+// Names returns the registered dataset names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.entries))
+	for name := range r.entries {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// List returns name and kind of every registered dataset, sorted by
+// name.
+func (r *Registry) List() []DatasetInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]DatasetInfo, 0, len(r.entries))
+	for name, e := range r.entries {
+		out = append(out, DatasetInfo{Name: name, Kind: e.kind})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// UnknownDatasetError is returned by Trace for names not in the
+// registry; its message lists the available names.
+type UnknownDatasetError struct {
+	Name      string
+	Available []string
+}
+
+func (e *UnknownDatasetError) Error() string {
+	return fmt.Sprintf("unknown dataset %q (available: %s)", e.Name, strings.Join(e.Available, ", "))
+}
+
+// Trace returns the named dataset, building it on first use. Every
+// call for the same name returns the same immutable trace; concurrent
+// first calls block on a single build.
+func (r *Registry) Trace(name string) (*trace.Trace, error) {
+	r.mu.Lock()
+	e, ok := r.entries[name]
+	r.mu.Unlock()
+	if !ok {
+		return nil, &UnknownDatasetError{Name: name, Available: r.Names()}
+	}
+	e.once.Do(func() { e.tr, e.err = e.build() })
+	return e.tr, e.err
+}

@@ -1,0 +1,150 @@
+package service
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/tracegen"
+)
+
+func TestRegistryBuiltinNames(t *testing.T) {
+	reg := NewRegistry()
+	want := []string{"conext-3-6", "conext-9-12", "dev", "infocom-3-6", "infocom-9-12"}
+	if got := reg.Names(); !reflect.DeepEqual(got, want) {
+		t.Errorf("Names = %v, want %v", got, want)
+	}
+	for _, info := range reg.List() {
+		if info.Kind != KindSynthetic {
+			t.Errorf("%s: kind %q, want synthetic", info.Name, info.Kind)
+		}
+	}
+}
+
+func TestRegistryBuiltinTracesMatchGenerators(t *testing.T) {
+	reg := NewRegistry()
+	tr, err := reg.Trace("dev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tracegen.Dev(1)
+	if tr.Name != want.Name || tr.Len() != want.Len() || tr.NumNodes != want.NumNodes {
+		t.Errorf("dev trace differs from tracegen.Dev(1): %q/%d/%d vs %q/%d/%d",
+			tr.Name, tr.NumNodes, tr.Len(), want.Name, want.NumNodes, want.Len())
+	}
+	// The same entry is returned, not regenerated.
+	again, err := reg.Trace("dev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr != again {
+		t.Error("second Trace call returned a different instance")
+	}
+}
+
+func TestRegistryUnknownDatasetListsNames(t *testing.T) {
+	reg := NewRegistry()
+	_, err := reg.Trace("nope")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	var unknown *UnknownDatasetError
+	if !asUnknown(err, &unknown) {
+		t.Fatalf("error type %T, want *UnknownDatasetError", err)
+	}
+	msg := err.Error()
+	for _, name := range reg.Names() {
+		if !strings.Contains(msg, name) {
+			t.Errorf("error %q does not list %q", msg, name)
+		}
+	}
+}
+
+func asUnknown(err error, target **UnknownDatasetError) bool {
+	u, ok := err.(*UnknownDatasetError)
+	if ok {
+		*target = u
+	}
+	return ok
+}
+
+func TestRegistryRegisterDuplicate(t *testing.T) {
+	reg := NewRegistry()
+	if err := reg.Register("dev", KindSynthetic, nil); err == nil {
+		t.Error("duplicate Register succeeded")
+	}
+	if err := reg.Register("", KindSynthetic, nil); err == nil {
+		t.Error("empty-name Register succeeded")
+	}
+}
+
+func TestRegistryRegisterFile(t *testing.T) {
+	orig := tracegen.Dev(7)
+	path := filepath.Join(t.TempDir(), "dev7.txt")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.Write(f, orig); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	reg := NewRegistry()
+	if err := reg.RegisterFile("office", path); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := reg.Trace("office")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != orig.Len() || tr.NumNodes != orig.NumNodes || tr.Horizon != orig.Horizon {
+		t.Errorf("loaded trace %d/%d/%g differs from written %d/%d/%g",
+			tr.NumNodes, tr.Len(), tr.Horizon, orig.NumNodes, orig.Len(), orig.Horizon)
+	}
+	found := false
+	for _, info := range reg.List() {
+		if info.Name == "office" {
+			found = true
+			if info.Kind != KindFile {
+				t.Errorf("office kind = %q, want file", info.Kind)
+			}
+		}
+	}
+	if !found {
+		t.Error("office missing from List")
+	}
+
+	if err := reg.RegisterFile("broken", filepath.Join(t.TempDir(), "missing.txt")); err == nil {
+		t.Error("RegisterFile with missing path succeeded")
+	}
+}
+
+func TestRegistryConcurrentTraceSingleflight(t *testing.T) {
+	reg := NewRegistry()
+	const goroutines = 16
+	traces := make([]*trace.Trace, goroutines)
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for i := 0; i < goroutines; i++ {
+		go func(i int) {
+			defer wg.Done()
+			tr, err := reg.Trace("dev")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			traces[i] = tr
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < goroutines; i++ {
+		if traces[i] != traces[0] {
+			t.Fatalf("goroutine %d got a different trace instance", i)
+		}
+	}
+}

@@ -1,0 +1,238 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+)
+
+// Config parametrizes a Server.
+type Config struct {
+	// Registry supplies the served datasets. Nil means NewRegistry()
+	// (the built-in synthetic datasets).
+	Registry *Registry
+
+	// Workers is the default engine worker count for experiment
+	// requests (a request may override it downward or upward; results
+	// are byte-identical either way). Zero means runtime.GOMAXPROCS(0).
+	Workers int
+
+	// MaxInflight bounds the experiment requests executing
+	// concurrently; excess requests are shed with 503 Service
+	// Unavailable and a Retry-After hint, so load beyond the machine's
+	// capacity degrades by fast rejection instead of queue collapse.
+	// The bound feeds the internal/engine pool: at most MaxInflight
+	// requests compete for its goroutines. Zero means
+	// 4×GOMAXPROCS; negative means unlimited.
+	MaxInflight int
+
+	// CacheSize bounds the memoized-result LRU (marshaled response
+	// bytes keyed by canonical request). Zero means 256 entries;
+	// negative disables response caching.
+	CacheSize int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Registry == nil {
+		c.Registry = NewRegistry()
+	}
+	if c.MaxInflight == 0 {
+		c.MaxInflight = 4 * runtime.GOMAXPROCS(0)
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 256
+	}
+	return c
+}
+
+// Server serves the repository's experiments over HTTP. Create one
+// with New, mount it via Handler, and run it under any http.Server
+// (cmd/psn-serve adds flags and graceful shutdown).
+type Server struct {
+	cfg     Config
+	art     *artifacts
+	results *lruCache
+	metrics *metrics
+	sem     chan struct{} // in-flight experiment semaphore; nil = unlimited
+	mux     *http.ServeMux
+}
+
+// New builds a Server from cfg.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		art:     newArtifacts(cfg.Registry),
+		results: newLRUCache(cfg.CacheSize),
+		metrics: newMetrics(),
+	}
+	if cfg.MaxInflight > 0 {
+		s.sem = make(chan struct{}, cfg.MaxInflight)
+	}
+	s.mux = http.NewServeMux()
+	// Probe endpoints bypass the experiment semaphore: they must stay
+	// responsive when the server is saturated.
+	s.mux.HandleFunc("GET /healthz", s.count("healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /metrics", s.count("metrics", s.handleMetrics))
+	s.mux.HandleFunc("GET /datasets", s.count("datasets", s.handleDatasets))
+	s.mux.HandleFunc("GET /figures", s.count("figures", s.handleFigures))
+	// Experiment endpoints run under the in-flight limit.
+	s.mux.HandleFunc("POST /enumerate", s.limited("enumerate", s.handleEnumerate))
+	s.mux.HandleFunc("POST /simulate", s.limited("simulate", s.handleSimulate))
+	s.mux.HandleFunc("GET /figures/{id}/data", s.limited("figure_data", s.handleFigureData))
+	return s
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Registry returns the server's dataset registry.
+func (s *Server) Registry() *Registry { return s.cfg.Registry }
+
+// count wraps a handler with request/response accounting.
+func (s *Server) count(endpoint string, h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.metrics.countRequest(endpoint)
+		cw := &countingWriter{ResponseWriter: w}
+		h(cw, r)
+		s.metrics.countStatus(cw.status())
+	}
+}
+
+// limited wraps an experiment handler with accounting and the bounded
+// in-flight semaphore. When the semaphore is full the request is shed
+// immediately with 503 — callers retry against a server that is
+// already making progress on earlier requests.
+func (s *Server) limited(endpoint string, h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
+	return s.count(endpoint, func(w http.ResponseWriter, r *http.Request) {
+		if s.sem != nil {
+			select {
+			case s.sem <- struct{}{}:
+				defer func() { <-s.sem }()
+			default:
+				s.metrics.rejected.Add(1)
+				w.Header().Set("Retry-After", "1")
+				writeError(w, http.StatusServiceUnavailable, fmt.Errorf("server at capacity (%d requests in flight)", cap(s.sem)))
+				return
+			}
+		}
+		s.metrics.inflight.Add(1)
+		defer s.metrics.inflight.Add(-1)
+		h(w, r)
+	})
+}
+
+// countingWriter records the status code written to a ResponseWriter.
+type countingWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (cw *countingWriter) WriteHeader(code int) {
+	if cw.code == 0 {
+		cw.code = code
+	}
+	cw.ResponseWriter.WriteHeader(code)
+}
+
+func (cw *countingWriter) status() int {
+	if cw.code == 0 {
+		return http.StatusOK
+	}
+	return cw.code
+}
+
+// errorBody is the JSON shape of every error response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(errorBody{Error: err.Error()})
+}
+
+// writeJSON marshals v exactly as the cached path does (json.Marshal
+// plus a trailing newline), so cached and freshly computed responses
+// are byte-identical.
+func writeJSON(w http.ResponseWriter, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeRaw(w, data)
+}
+
+func writeRaw(w http.ResponseWriter, data []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
+	w.Write([]byte{'\n'})
+}
+
+// marshalResponse is the single encoding used for cacheable responses.
+func marshalResponse(v any) ([]byte, error) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("encode response: %w", err)
+	}
+	return data, nil
+}
+
+// maxBodyBytes caps experiment request bodies. Requests are small
+// parameter tuples (the largest legitimate body is a message batch);
+// without a cap a single oversized body would be decoded fully into
+// memory while holding only one in-flight slot, bypassing the
+// backpressure design.
+const maxBodyBytes = 1 << 20
+
+// decodeBody strictly decodes a size-limited JSON request body into v.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return fmt.Errorf("request body exceeds %d bytes: %w", int64(maxBodyBytes), err)
+		}
+		return badRequest("bad request body: %v", err)
+	}
+	return nil
+}
+
+// statusOf maps handler errors to HTTP status codes: unknown datasets
+// and bad parameters are client errors, oversized bodies are 413,
+// everything else is a 500.
+func statusOf(err error) int {
+	var unknown *UnknownDatasetError
+	if errors.As(err, &unknown) {
+		return http.StatusNotFound
+	}
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		return http.StatusRequestEntityTooLarge
+	}
+	var badReq *badRequestError
+	if errors.As(err, &badReq) {
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
+}
+
+// badRequestError marks a client-side parameter problem.
+type badRequestError struct{ err error }
+
+func (e *badRequestError) Error() string { return e.err.Error() }
+func (e *badRequestError) Unwrap() error { return e.err }
+
+func badRequest(format string, args ...any) error {
+	return &badRequestError{err: fmt.Errorf(format, args...)}
+}

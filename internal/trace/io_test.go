@@ -2,6 +2,8 @@ package trace
 
 import (
 	"bytes"
+	"fmt"
+	"math/rand"
 	"strings"
 	"testing"
 )
@@ -52,21 +54,97 @@ func TestReadErrors(t *testing.T) {
 		name, in string
 	}{
 		{"empty", ""},
+		{"comments only", "# nothing here\n\n# still nothing\n"},
 		{"no header", "0 1 0 1\n"},
+		{"truncated header keyword", "trace\n"},
 		{"short header", "trace t 5\n"},
+		{"long header", "trace t 5 100 extra\n"},
 		{"bad node count", "trace t five 100\n"},
+		{"negative node count", "trace t -3 100\n"},
+		{"zero node count", "trace t 0 100\n"},
 		{"bad horizon", "trace t 5 x\n"},
+		{"negative horizon", "trace t 5 -100\n"},
 		{"duplicate header", "trace t 5 100\ntrace t 5 100\n"},
 		{"short contact", "trace t 5 100\n0 1 2\n"},
+		{"long contact", "trace t 5 100\n0 1 2 3 4\n"},
 		{"bad contact node", "trace t 5 100\nx 1 0 1\n"},
 		{"bad contact node b", "trace t 5 100\n0 x 0 1\n"},
 		{"bad contact start", "trace t 5 100\n0 1 x 1\n"},
 		{"bad contact end", "trace t 5 100\n0 1 0 x\n"},
-		{"invalid contact", "trace t 5 100\n0 1 50 40\n"},
+		{"end before start", "trace t 5 100\n0 1 50 40\n"},
+		{"negative start", "trace t 5 100\n0 1 -5 40\n"},
+		{"end past horizon", "trace t 5 100\n0 1 50 150\n"},
+		{"node out of range", "trace t 5 100\n0 7 0 1\n"},
+		{"negative node", "trace t 5 100\n-1 1 0 1\n"},
 		{"self contact", "trace t 5 100\n2 2 0 1\n"},
+		{"truncated final line", "trace t 5 100\n0 1 0 5\n2 3 6"},
 	} {
-		if _, err := Read(strings.NewReader(tc.in)); err == nil {
-			t.Errorf("%s: expected error, got nil", tc.name)
+		t.Run(tc.name, func(t *testing.T) {
+			// Malformed input must produce a clean error — never a
+			// panic, never a silently truncated trace.
+			tr, err := Read(strings.NewReader(tc.in))
+			if err == nil {
+				t.Errorf("expected error, got trace %+v", tr)
+			}
+		})
+	}
+}
+
+// TestReadWriteRoundTripProperty generates random valid traces and
+// asserts the full round trip: Write → Read preserves every field, and
+// a second Write reproduces the first byte-for-byte (the format is
+// canonical for a sorted trace).
+func TestReadWriteRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260730))
+	for trial := 0; trial < 60; trial++ {
+		numNodes := 2 + rng.Intn(20)
+		horizon := 10 + rng.Float64()*10000
+		contacts := make([]Contact, rng.Intn(40))
+		for i := range contacts {
+			a := NodeID(rng.Intn(numNodes))
+			b := NodeID(rng.Intn(numNodes - 1))
+			if b >= a {
+				b++
+			}
+			start := rng.Float64() * horizon
+			end := start + rng.Float64()*(horizon-start)
+			contacts[i] = Contact{A: a, B: b, Start: start, End: end}
+		}
+		orig, err := New(fmt.Sprintf("prop-%d", trial), numNodes, horizon, contacts)
+		if err != nil {
+			t.Fatalf("trial %d: New: %v", trial, err)
+		}
+
+		var buf bytes.Buffer
+		if err := Write(&buf, orig); err != nil {
+			t.Fatalf("trial %d: Write: %v", trial, err)
+		}
+		first := buf.String()
+
+		got, err := Read(strings.NewReader(first))
+		if err != nil {
+			t.Fatalf("trial %d: Read: %v", trial, err)
+		}
+		if got.Name != orig.Name || got.NumNodes != orig.NumNodes || got.Horizon != orig.Horizon {
+			t.Fatalf("trial %d: header %q/%d/%g, want %q/%d/%g",
+				trial, got.Name, got.NumNodes, got.Horizon, orig.Name, orig.NumNodes, orig.Horizon)
+		}
+		if got.Len() != orig.Len() {
+			t.Fatalf("trial %d: Len %d, want %d", trial, got.Len(), orig.Len())
+		}
+		for i := range got.Contacts() {
+			if got.Contacts()[i] != orig.Contacts()[i] {
+				t.Fatalf("trial %d: contact %d = %+v, want %+v",
+					trial, i, got.Contacts()[i], orig.Contacts()[i])
+			}
+		}
+
+		buf.Reset()
+		if err := Write(&buf, got); err != nil {
+			t.Fatalf("trial %d: re-Write: %v", trial, err)
+		}
+		if buf.String() != first {
+			t.Fatalf("trial %d: Write∘Read not canonical:\n%s\nvs\n%s", trial, buf.String(), first)
 		}
 	}
 }

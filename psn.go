@@ -13,7 +13,11 @@
 //   - the trace-driven forwarding simulator and the six algorithms the
 //     paper compares (Simulate, PaperAlgorithms, …);
 //   - the experiment harness that regenerates every figure of the
-//     paper's evaluation (NewFigureHarness, Figures, …).
+//     paper's evaluation (NewFigureHarness, Figures, …);
+//   - the HTTP serving layer: a dataset registry plus a server that
+//     exposes enumeration, simulation and figure data as JSON
+//     endpoints over cached per-dataset artifacts (NewRegistry,
+//     NewServer; see cmd/psn-serve).
 //
 // # Concurrency and determinism
 //
@@ -34,6 +38,14 @@
 // full contact stream); an algorithm that cannot clone makes the
 // simulator fall back to a serial run rather than risk divergence.
 //
+// The serving layer extends the contract end-to-end: a served response
+// is byte-identical to the equivalent direct library call, for any
+// worker count and request concurrency. Handlers call exactly the
+// library entry points, expensive artifacts (space-time graphs,
+// enumerators, simulation oracles) are built once behind singleflight
+// and shared immutably, and memoized results are stored as the
+// marshaled bytes of the first computation.
+//
 // See examples/quickstart for a five-minute tour.
 package psn
 
@@ -46,6 +58,7 @@ import (
 	"repro/internal/figures"
 	"repro/internal/forward"
 	"repro/internal/pathenum"
+	"repro/internal/service"
 	"repro/internal/stgraph"
 	"repro/internal/trace"
 	"repro/internal/tracegen"
@@ -155,6 +168,14 @@ func NewEnumerator(t *Trace, opt EnumOptions) (*Enumerator, error) {
 	return pathenum.NewEnumerator(t, opt)
 }
 
+// NewEnumeratorWithGraph prepares path enumeration reusing a space-time
+// graph built earlier — the expensive part of enumerator construction —
+// so callers varying only the enumeration budget (K, TableWidth,
+// MaxArrivals) share one index.
+func NewEnumeratorWithGraph(t *Trace, g *SpaceTimeGraph, opt EnumOptions) (*Enumerator, error) {
+	return pathenum.NewEnumeratorWithGraph(t, g, opt)
+}
+
 // NewSpaceTimeGraph discretizes a trace with step delta and builds the
 // per-step adjacency, component and hop-distance indexes. Enumerators
 // build their own graph; call this only to inspect the structure
@@ -185,6 +206,15 @@ const (
 
 // Simulate runs a forwarding algorithm over a trace.
 func Simulate(cfg SimConfig) (*SimResult, error) { return dtnsim.Run(cfg) }
+
+// SimOracle holds the precomputed read-only simulation tables of one
+// trace (contact totals, MEED distances, the sorted event stream).
+// Build it once with NewSimOracle and set SimConfig.Oracle to share it
+// across many runs of the same trace.
+type SimOracle = dtnsim.Oracle
+
+// NewSimOracle precomputes the simulation tables for a trace.
+func NewSimOracle(t *Trace) *SimOracle { return dtnsim.NewOracle(t) }
 
 // SimWorkload draws the paper's Poisson message workload.
 func SimWorkload(t *Trace, rate, genHorizon float64, seed int64) []SimMessage {
@@ -249,3 +279,27 @@ func Figures() []FigureSpec { return figures.All() }
 
 // LookupFigure finds a figure by id (e.g. "F04a").
 func LookupFigure(id string) (FigureSpec, bool) { return figures.Lookup(id) }
+
+// Serving.
+type (
+	// Registry maps dataset names to lazily-built immutable traces:
+	// the built-in synthetic datasets plus traces registered from
+	// files or custom generators. It backs both the CLIs' -dataset
+	// flags and the HTTP server.
+	Registry = service.Registry
+	// ServeConfig parametrizes the HTTP server (registry, workers,
+	// in-flight bound, result-cache size).
+	ServeConfig = service.Config
+	// Server serves the repository's experiments as JSON endpoints
+	// over cached per-dataset artifacts. See cmd/psn-serve.
+	Server = service.Server
+)
+
+// NewRegistry returns a registry pre-populated with the four paper
+// datasets (infocom-9-12, infocom-3-6, conext-9-12, conext-3-6) and
+// the small deterministic "dev" trace.
+func NewRegistry() *Registry { return service.NewRegistry() }
+
+// NewServer builds the experiment-serving HTTP server; mount its
+// Handler under any http.Server.
+func NewServer(cfg ServeConfig) *Server { return service.New(cfg) }
