@@ -122,6 +122,11 @@ func BenchmarkEnumerateNarrowTable(b *testing.B) {
 
 func BenchmarkSimulateEpidemic(b *testing.B) { benchsuite.SimulateEpidemic(b) }
 
+// BenchmarkSimulateSweep is the warm-sweep counterpart of
+// BenchmarkSimulateEpidemic: per-run marginal cost with oracle tables
+// and pooled simulation state amortized across runs.
+func BenchmarkSimulateSweep(b *testing.B) { benchsuite.SimulateSweep(b) }
+
 // BenchmarkServeEnumerateWarm is the serving layer's warm-cache
 // request throughput (HTTP round trip included); 1e9 / ns_per_op is
 // the single-connection requests/sec recorded in BENCH_<date>.json.
@@ -174,14 +179,9 @@ func BenchmarkSimulateMEED(b *testing.B) {
 	}
 }
 
-func BenchmarkMEEDDistances(b *testing.B) {
-	tr := tracegen.MustGenerate(tracegen.Conext0912)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		forward.MEEDDistances(tr)
-	}
-}
+// BenchmarkMEEDDistances pins the flattened Floyd-Warshall closure
+// (shared with psn-bench snapshots via benchsuite).
+func BenchmarkMEEDDistances(b *testing.B) { benchsuite.MEEDDistances(b) }
 
 func BenchmarkODESolve(b *testing.B) {
 	u0 := analytic.SourceInitial(1000, 100)

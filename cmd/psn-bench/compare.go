@@ -1,0 +1,99 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// delta is one benchmark's baseline comparison. Ratios are
+// current/baseline (1.0 = unchanged, <1 = improvement); an allocs
+// ratio against a zero baseline is reported as +Inf only when the
+// current value is nonzero.
+type delta struct {
+	Name        string
+	BaseNs      float64
+	CurNs       float64
+	NsRatio     float64
+	BaseAllocs  int64
+	CurAllocs   int64
+	AllocsRatio float64
+}
+
+// loadSnapshot reads a BENCH_*.json file.
+func loadSnapshot(path string) (snapshot, error) {
+	var s snapshot
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return s, err
+	}
+	if err := json.Unmarshal(data, &s); err != nil {
+		return s, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// compareSnapshots matches benchmarks by name (in current-snapshot
+// order) and computes the per-benchmark deltas. Benchmarks present in
+// only one snapshot are skipped: a baseline from an older revision may
+// predate newly added benchmarks.
+func compareSnapshots(base, cur snapshot) []delta {
+	baseByName := make(map[string]record, len(base.Benchmarks))
+	for _, r := range base.Benchmarks {
+		baseByName[r.Name] = r
+	}
+	var out []delta
+	for _, r := range cur.Benchmarks {
+		b, ok := baseByName[r.Name]
+		if !ok {
+			continue
+		}
+		out = append(out, delta{
+			Name:        r.Name,
+			BaseNs:      b.NsPerOp,
+			CurNs:       r.NsPerOp,
+			NsRatio:     ratio(r.NsPerOp, b.NsPerOp),
+			BaseAllocs:  b.AllocsPerOp,
+			CurAllocs:   r.AllocsPerOp,
+			AllocsRatio: ratio(float64(r.AllocsPerOp), float64(b.AllocsPerOp)),
+		})
+	}
+	return out
+}
+
+func ratio(cur, base float64) float64 {
+	if base == 0 {
+		if cur == 0 {
+			return 1
+		}
+		return math.Inf(1)
+	}
+	return cur / base
+}
+
+// regressions returns the benchmarks whose ns/op or allocs/op ratio
+// exceeds 1+threshold. threshold <= 0 disables the check.
+func regressions(deltas []delta, threshold float64) []delta {
+	if threshold <= 0 {
+		return nil
+	}
+	var out []delta
+	for _, d := range deltas {
+		if d.NsRatio > 1+threshold || d.AllocsRatio > 1+threshold {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// printDeltas renders the comparison table.
+func printDeltas(w io.Writer, deltas []delta) {
+	fmt.Fprintf(w, "%-28s %14s %14s %8s %12s %12s %8s\n",
+		"benchmark", "base ns/op", "ns/op", "Δ", "base allocs", "allocs", "Δ")
+	for _, d := range deltas {
+		fmt.Fprintf(w, "%-28s %14.0f %14.0f %7.2fx %12d %12d %7.2fx\n",
+			d.Name, d.BaseNs, d.CurNs, d.NsRatio, d.BaseAllocs, d.CurAllocs, d.AllocsRatio)
+	}
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func snap(recs ...record) snapshot {
+	return snapshot{Date: "2026-07-30", Benchmarks: recs}
+}
+
+func TestCompareSnapshotsMatchesByName(t *testing.T) {
+	base := snap(
+		record{Name: "A", NsPerOp: 100, AllocsPerOp: 10},
+		record{Name: "Removed", NsPerOp: 5, AllocsPerOp: 5},
+	)
+	cur := snap(
+		record{Name: "A", NsPerOp: 50, AllocsPerOp: 20},
+		record{Name: "New", NsPerOp: 7, AllocsPerOp: 7},
+	)
+	deltas := compareSnapshots(base, cur)
+	if len(deltas) != 1 {
+		t.Fatalf("deltas = %+v, want exactly the matched benchmark", deltas)
+	}
+	d := deltas[0]
+	if d.Name != "A" || d.NsRatio != 0.5 || d.AllocsRatio != 2 {
+		t.Errorf("delta = %+v, want A with ns 0.5x, allocs 2x", d)
+	}
+}
+
+func TestCompareSnapshotsZeroBaseline(t *testing.T) {
+	base := snap(record{Name: "A", NsPerOp: 100, AllocsPerOp: 0})
+	cur := snap(record{Name: "A", NsPerOp: 100, AllocsPerOp: 3})
+	d := compareSnapshots(base, cur)[0]
+	if !math.IsInf(d.AllocsRatio, 1) {
+		t.Errorf("allocs ratio vs zero baseline = %g, want +Inf", d.AllocsRatio)
+	}
+	cur.Benchmarks[0].AllocsPerOp = 0
+	d = compareSnapshots(base, cur)[0]
+	if d.AllocsRatio != 1 {
+		t.Errorf("0/0 allocs ratio = %g, want 1", d.AllocsRatio)
+	}
+}
+
+func TestRegressions(t *testing.T) {
+	deltas := []delta{
+		{Name: "ok", NsRatio: 1.05, AllocsRatio: 1.0},
+		{Name: "slow", NsRatio: 1.30, AllocsRatio: 1.0},
+		{Name: "leaky", NsRatio: 0.9, AllocsRatio: 2.0},
+	}
+	bad := regressions(deltas, 0.15)
+	if len(bad) != 2 || bad[0].Name != "slow" || bad[1].Name != "leaky" {
+		t.Errorf("regressions = %+v, want slow and leaky", bad)
+	}
+	// A 5% regression passes a 15% threshold; threshold 0 disables.
+	if got := regressions(deltas, 0); got != nil {
+		t.Errorf("disabled threshold flagged %+v", got)
+	}
+}
+
+func TestLoadSnapshotRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, []byte(`{
+		"date": "2026-07-30",
+		"benchmarks": [{"name": "X", "ns_per_op": 12.5, "allocs_per_op": 4}]
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := loadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Benchmarks) != 1 || s.Benchmarks[0].Name != "X" || s.Benchmarks[0].NsPerOp != 12.5 {
+		t.Errorf("loaded snapshot = %+v", s)
+	}
+	if _, err := loadSnapshot(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	os.WriteFile(bad, []byte("{"), 0o644)
+	if _, err := loadSnapshot(bad); err == nil {
+		t.Error("malformed json accepted")
+	}
+}
+
+func TestPrintDeltas(t *testing.T) {
+	var b strings.Builder
+	printDeltas(&b, []delta{{Name: "A", BaseNs: 100, CurNs: 50, NsRatio: 0.5, BaseAllocs: 10, CurAllocs: 10, AllocsRatio: 1}})
+	out := b.String()
+	if !strings.Contains(out, "A") || !strings.Contains(out, "0.50x") {
+		t.Errorf("printDeltas output missing fields:\n%s", out)
+	}
+}

@@ -7,10 +7,18 @@
 //	psn-bench -match Enumerate # run a subset
 //	psn-bench -list            # print benchmark names and exit
 //
+// A previous snapshot can serve as a baseline: -baseline diffs every
+// matched benchmark (ns/op and allocs/op ratios), and -regress turns
+// the diff into a gate — psn-bench exits non-zero when any benchmark
+// regresses past the threshold:
+//
+//	psn-bench -baseline BENCH_2026-07-30.json                # print deltas
+//	psn-bench -baseline old.json -regress 0.15               # fail on >15% regression
+//
 // The benchmark bodies are shared with bench_test.go via
 // internal/benchsuite (graph index build, single-message and batch
-// path enumeration, the epidemic simulation workload); each runs
-// through testing.Benchmark with the default 1 s benchtime.
+// path enumeration, the cold and warm-sweep simulation workloads);
+// each runs through testing.Benchmark with the default 1 s benchtime.
 package main
 
 import (
@@ -49,6 +57,8 @@ func main() {
 	out := flag.String("o", "", "output path (default BENCH_<date>.json)")
 	match := flag.String("match", "", "regexp selecting benchmarks to run (default all)")
 	list := flag.Bool("list", false, "list benchmark names and exit")
+	baseline := flag.String("baseline", "", "previous BENCH_*.json to diff against")
+	regress := flag.Float64("regress", 0, "with -baseline: exit non-zero when ns/op or allocs/op regresses by more than this fraction (e.g. 0.15 = 15%); 0 disables")
 	flag.Parse()
 
 	all := benchsuite.Specs()
@@ -63,6 +73,17 @@ func main() {
 		var err error
 		if re, err = regexp.Compile(*match); err != nil {
 			fmt.Fprintf(os.Stderr, "psn-bench: bad -match: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	// Load the baseline before anything is written: the default output
+	// path (BENCH_<today>.json) can collide with the baseline file, and
+	// a late load would then silently diff the snapshot against itself.
+	var base snapshot
+	if *baseline != "" {
+		var err error
+		if base, err = loadSnapshot(*baseline); err != nil {
+			fmt.Fprintf(os.Stderr, "psn-bench: -baseline: %v\n", err)
 			os.Exit(2)
 		}
 	}
@@ -113,4 +134,16 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println(path)
+
+	if *baseline != "" {
+		deltas := compareSnapshots(base, snap)
+		printDeltas(os.Stdout, deltas)
+		if bad := regressions(deltas, *regress); len(bad) > 0 {
+			for _, d := range bad {
+				fmt.Fprintf(os.Stderr, "psn-bench: regression: %s (ns/op %.2fx, allocs/op %.2fx exceeds 1+%.2f)\n",
+					d.Name, d.NsRatio, d.AllocsRatio, *regress)
+			}
+			os.Exit(1)
+		}
+	}
 }

@@ -49,13 +49,21 @@ func main() {
 
 	fmt.Printf("trace %q: %d nodes, %d contacts, %d runs x rate %.3g/s\n",
 		tr.Name, tr.NumNodes, tr.Len(), *runs, *rate)
+	// One sweep engine for the whole (algorithm × run) matrix: the
+	// oracle tables are built once and per-run simulation state is
+	// pooled, so each run after the first pays only the replay.
+	sweep, err := psn.NewSimSweep(tr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "psn-sim:", err)
+		os.Exit(1)
+	}
 	cl := psn.NewClassifier(tr)
 	fmt.Printf("%-22s %10s %14s %10s %12s\n", "algorithm", "success", "avg delay (s)", "delivered", "txs/msg")
 	for _, alg := range algos {
 		var all []*psn.SimResult
 		for r := 0; r < *runs; r++ {
 			msgs := psn.SimWorkload(tr, *rate, tr.Horizon*2/3, psn.DeriveSeed(*seed, r))
-			res, err := psn.Simulate(psn.SimConfig{Trace: tr, Algorithm: alg, Messages: msgs, CopyMode: mode, Workers: *workers})
+			res, err := sweep.Run(psn.SimConfig{Algorithm: alg, Messages: msgs, CopyMode: mode, Workers: *workers})
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "psn-sim:", err)
 				os.Exit(1)

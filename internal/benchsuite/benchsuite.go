@@ -37,6 +37,8 @@ func Specs() []Spec {
 		{"EnumerateAllSerial", EnumerateAllWorkers(1)},
 		{"EnumerateAllParallel", EnumerateAllWorkers(0)},
 		{"SimulateEpidemic", SimulateEpidemic},
+		{"SimulateSweep", SimulateSweep},
+		{"MEEDDistances", MEEDDistances},
 		{"ServeEnumerateWarm", ServeEnumerateWarm},
 	}
 }
@@ -160,7 +162,8 @@ func ServeEnumerateWarm(b *testing.B) {
 }
 
 // SimulateEpidemic runs the paper's Poisson workload under epidemic
-// forwarding.
+// forwarding, cold: every iteration pays the full Run contract
+// including the oracle-table derivation.
 func SimulateEpidemic(b *testing.B) {
 	tr := tracegen.MustGenerate(tracegen.Conext0912)
 	msgs := dtnsim.Workload(tr, 0.25, tr.Horizon*2/3, 1)
@@ -170,5 +173,41 @@ func SimulateEpidemic(b *testing.B) {
 		if _, err := dtnsim.Run(dtnsim.Config{Trace: tr, Algorithm: forward.Epidemic{}, Messages: msgs}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// SimulateSweep measures the per-run marginal cost of the same
+// epidemic workload through a warm Sweep engine: oracle tables built
+// once, per-worker simulation state pooled and reset — the cost every
+// run after the first pays in a multi-run parameter sweep (psn-sim
+// -runs, the figure harness, a warm /simulate).
+func SimulateSweep(b *testing.B) {
+	tr := tracegen.MustGenerate(tracegen.Conext0912)
+	sw, err := dtnsim.NewSweep(tr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	msgs := dtnsim.Workload(tr, 0.25, tr.Horizon*2/3, 1)
+	cfg := dtnsim.Config{Algorithm: forward.Epidemic{}, Messages: msgs}
+	if _, err := sw.Run(cfg); err != nil { // warm the pooled state
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sw.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// MEEDDistances pins the flattened all-pairs Floyd-Warshall closure of
+// the MEED oracle metric — the O(n³) share of every cold simulation.
+func MEEDDistances(b *testing.B) {
+	tr := tracegen.MustGenerate(tracegen.Conext0912)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		forward.MEEDDistances(tr)
 	}
 }

@@ -11,13 +11,29 @@
 // immediately traverse the holder's other live contacts), and
 // replication by default (a forwarding node keeps its copy; the paper
 // models nodes that never discard messages).
+//
+// The hot path is allocation-free in steady state: per-worker
+// simulation state (the contact View, per-message hop/copy slabs, the
+// live-message index, spread queues, event buffers) lives in pooled
+// scratch that a Sweep resets and reuses across runs, so a multi-run
+// parameter sweep pays the oracle tables and the event-sort once and
+// each additional run costs only the replay itself plus one Outcome
+// slice for its results.
+//
+// The replay itself is bitset-indexed: each node carries a dense
+// bitset of the messages it holds, so the per-contact search for
+// messages that can act is one XOR-and-mask sweep over a few machine
+// words — a message held by both endpoints, by neither, or already
+// delivered costs nothing — instead of a per-message scan.
 package dtnsim
 
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"math/rand"
-	"sort"
+	"runtime"
+	"slices"
 	"sync"
 
 	"repro/internal/engine"
@@ -78,12 +94,13 @@ type Config struct {
 // whole-trace contact totals, the O(n³) MEED distance metric, and the
 // sorted contact event stream. Run derives them on every call; callers
 // simulating one trace many times (parameter sweeps, a serving layer)
-// build the Oracle once and share it — it is immutable and safe for
+// build the Oracle once — or better, a Sweep, which also pools the
+// mutable per-run state — and share it: it is immutable and safe for
 // concurrent use across simulations.
 type Oracle struct {
 	tr     *trace.Trace
 	totals []int
-	meed   [][]float64
+	meed   *forward.DistMatrix
 	events []event
 }
 
@@ -96,6 +113,9 @@ func NewOracle(tr *trace.Trace) *Oracle {
 		events: contactEventList(tr),
 	}
 }
+
+// Trace returns the trace the oracle was built from.
+func (o *Oracle) Trace() *trace.Trace { return o.tr }
 
 // Outcome records the fate of one message.
 type Outcome struct {
@@ -120,7 +140,10 @@ type Result struct {
 // maxSimNodes bounds the population (holder sets are two-word bitsets).
 const maxSimNodes = 128
 
-// Run simulates cfg and returns per-message outcomes.
+// Run simulates cfg and returns per-message outcomes. Every call
+// derives (or accepts via cfg.Oracle) the read-only trace tables; use
+// a Sweep to amortize them — and the pooled per-worker state — across
+// many runs of one trace.
 func Run(cfg Config) (*Result, error) {
 	tr := cfg.Trace
 	if tr == nil {
@@ -132,6 +155,74 @@ func Run(cfg Config) (*Result, error) {
 	if tr.NumNodes > maxSimNodes {
 		return nil, fmt.Errorf("dtnsim: trace has %d nodes, max %d", tr.NumNodes, maxSimNodes)
 	}
+	oracle := cfg.Oracle
+	if oracle == nil {
+		oracle = NewOracle(tr)
+	} else if oracle.tr != tr {
+		return nil, fmt.Errorf("dtnsim: oracle was built from a different trace")
+	}
+	sw := &Sweep{tr: tr, oracle: oracle} // transient: nothing pooled survives
+	return sw.run(cfg)
+}
+
+// Sweep amortizes shared work across many simulation runs over one
+// trace: the oracle tables (whole-trace contact totals, the O(n³)
+// MEED metric, the time-sorted contact event stream) are built once,
+// and the mutable per-worker simulation state is pooled and reset
+// between runs instead of reallocated. A Sweep is safe for concurrent
+// use; runs through a Sweep are byte-identical to plain Run calls.
+type Sweep struct {
+	tr     *trace.Trace
+	oracle *Oracle
+
+	mu      sync.Mutex
+	pool    []*sim
+	poolCap int
+}
+
+// NewSweep prepares a sweep over tr, precomputing the oracle tables.
+func NewSweep(tr *trace.Trace) (*Sweep, error) {
+	if tr == nil {
+		return nil, fmt.Errorf("dtnsim: nil trace")
+	}
+	if tr.NumNodes > maxSimNodes {
+		return nil, fmt.Errorf("dtnsim: trace has %d nodes, max %d", tr.NumNodes, maxSimNodes)
+	}
+	return &Sweep{
+		tr:      tr,
+		oracle:  NewOracle(tr),
+		poolCap: max(4, runtime.GOMAXPROCS(0)),
+	}, nil
+}
+
+// Trace returns the sweep's trace.
+func (sw *Sweep) Trace() *trace.Trace { return sw.tr }
+
+// Oracle returns the sweep's precomputed tables, shareable with plain
+// Run calls via Config.Oracle.
+func (sw *Sweep) Oracle() *Oracle { return sw.oracle }
+
+// Run simulates one configuration of the sweep's trace. cfg.Trace and
+// cfg.Oracle may be left nil (they default to the sweep's); when set
+// they must match the sweep. All other Config semantics are exactly
+// those of the package-level Run.
+func (sw *Sweep) Run(cfg Config) (*Result, error) {
+	if cfg.Trace != nil && cfg.Trace != sw.tr {
+		return nil, fmt.Errorf("dtnsim: sweep run with a different trace")
+	}
+	if cfg.Oracle != nil && cfg.Oracle != sw.oracle {
+		return nil, fmt.Errorf("dtnsim: sweep run with a different oracle")
+	}
+	if cfg.Algorithm == nil {
+		return nil, fmt.Errorf("dtnsim: nil algorithm")
+	}
+	return sw.run(cfg)
+}
+
+// run executes one validated-trace run, sharding messages across
+// workers with pooled per-worker simulation state.
+func (sw *Sweep) run(cfg Config) (*Result, error) {
+	tr := sw.tr
 	for i, m := range cfg.Messages {
 		if m.Src < 0 || int(m.Src) >= tr.NumNodes || m.Dst < 0 || int(m.Dst) >= tr.NumNodes {
 			return nil, fmt.Errorf("dtnsim: message %d endpoints out of range", i)
@@ -144,26 +235,19 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 
-	// The oracle tables (whole-trace totals and the O(n³) MEED metric)
-	// are read-only during simulation: compute them once — or accept
-	// them precomputed — and share them across every shard.
-	oracle := cfg.Oracle
-	if oracle == nil {
-		oracle = NewOracle(tr)
-	} else if oracle.tr != tr {
-		return nil, fmt.Errorf("dtnsim: oracle was built from a different trace")
-	}
-	totals, meed, contactEvents := oracle.totals, oracle.meed, oracle.events
-
 	workers := engine.Workers(cfg.Workers)
 	if workers > len(cfg.Messages) {
 		workers = len(cfg.Messages)
 	}
 	algs, parallelizable := forward.ParallelInstances(cfg.Algorithm, max(workers, 1))
+	outcomes := make([]Outcome, len(cfg.Messages))
 	if workers <= 1 || !parallelizable {
-		s := newSim(cfg, cfg.Messages, totals, meed)
-		s.run(contactEvents)
-		return &Result{Algorithm: cfg.Algorithm.Name(), Outcomes: s.outcomes, Transmissions: s.sent}, nil
+		s := sw.acquire(1)[0]
+		s.reset(cfg.Algorithm, cfg.CopyMode, sw.oracle, cfg.Messages, 0, 1, outcomes)
+		s.run(sw.oracle.events)
+		sent := s.sent
+		sw.release(s)
+		return &Result{Algorithm: cfg.Algorithm.Name(), Outcomes: outcomes, Transmissions: sent}, nil
 	}
 
 	// Fan the messages out in strided shards: worker w owns messages
@@ -171,59 +255,125 @@ func Run(cfg Config) (*Result, error) {
 	// its own View (and algorithm clone), so every message sees
 	// exactly the state it would have seen in a serial run; outcomes
 	// land at their global index and transmission counts add up.
-	outcomes := make([]Outcome, len(cfg.Messages))
-	sent := make([]int, workers)
+	sims := sw.acquire(workers)
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func(w int) {
 			defer wg.Done()
-			var msgs []Message
-			var idx []int
-			for i := w; i < len(cfg.Messages); i += workers {
-				msgs = append(msgs, cfg.Messages[i])
-				idx = append(idx, i)
-			}
-			shard := cfg
-			shard.Algorithm = algs[w]
-			s := newSim(shard, msgs, totals, meed)
-			s.run(contactEvents)
-			for j, o := range s.outcomes {
-				outcomes[idx[j]] = o
-			}
-			sent[w] = s.sent
+			s := sims[w]
+			s.reset(algs[w], cfg.CopyMode, sw.oracle, cfg.Messages, w, workers, outcomes)
+			s.run(sw.oracle.events)
 		}(w)
 	}
 	wg.Wait()
 	total := 0
-	for _, n := range sent {
-		total += n
+	for _, s := range sims {
+		total += s.sent
 	}
+	sw.release(sims...)
 	return &Result{Algorithm: cfg.Algorithm.Name(), Outcomes: outcomes, Transmissions: total}, nil
 }
 
-// contactEventList builds the trace's contact start/end events, sorted
-// once and shared read-only by every shard.
-func contactEventList(tr *trace.Trace) []event {
-	events := make([]event, 0, 2*tr.Len())
-	for _, c := range tr.Contacts() {
-		events = append(events,
-			event{time: c.Start, kind: evContactStart, a: c.A, b: c.B},
-			event{time: c.End, kind: evContactEnd, a: c.A, b: c.B},
-		)
+// acquire takes n pooled sims, allocating the shortfall.
+func (sw *Sweep) acquire(n int) []*sim {
+	out := make([]*sim, n)
+	sw.mu.Lock()
+	for i := 0; i < n && len(sw.pool) > 0; i++ {
+		out[i] = sw.pool[len(sw.pool)-1]
+		sw.pool = sw.pool[:len(sw.pool)-1]
 	}
-	sortEvents(events)
+	sw.mu.Unlock()
+	for i := range out {
+		if out[i] == nil {
+			out[i] = &sim{}
+		}
+	}
+	return out
+}
+
+// release returns sims to the pool, dropping any beyond the retention
+// cap (their scratch is rebuilt on a later acquire if ever needed).
+// Caller-owned references — the run's message and outcome slices and
+// its algorithm instance — are dropped so a long-lived pooled sim
+// (e.g. in a server's cached Sweep) cannot pin them between runs.
+func (sw *Sweep) release(sims ...*sim) {
+	sw.mu.Lock()
+	for _, s := range sims {
+		s.alg, s.obs = nil, nil
+		s.messages, s.outcomes = nil, nil
+		if len(sw.pool) < sw.poolCap {
+			sw.pool = append(sw.pool, s)
+		}
+	}
+	sw.mu.Unlock()
+}
+
+// contactEventList builds the trace's contact start/end events, sorted
+// once and shared read-only by every shard. Contacts are stored sorted
+// by start time (a trace.New invariant), so the start events are
+// already in order and only the end events need sorting; a linear merge
+// then produces exactly the (time, kind, seq) order sortEvents defines,
+// at roughly half the comparison cost of sorting the full stream.
+func contactEventList(tr *trace.Trace) []event {
+	cs := tr.Contacts()
+	buf := make([]event, 2*len(cs))
+	starts, ends := buf[:len(cs)], buf[len(cs):]
+	for i, c := range cs {
+		starts[i] = event{time: c.Start, kind: evContactStart, a: int16(c.A), b: int16(c.B), seq: int32(2 * i)}
+		ends[i] = event{time: c.End, kind: evContactEnd, a: int16(c.A), b: int16(c.B), seq: int32(2*i + 1)}
+	}
+	slices.SortFunc(ends, func(a, b event) int {
+		switch {
+		case a.time != b.time:
+			if a.time < b.time {
+				return -1
+			}
+			return 1
+		default:
+			return int(a.seq) - int(b.seq)
+		}
+	})
+	events := make([]event, 0, 2*len(cs))
+	i, j := 0, 0
+	for i < len(starts) || j < len(ends) {
+		// At equal times starts precede ends (kind order); within one
+		// list the seq tiebreak is already established.
+		if j >= len(ends) || (i < len(starts) && starts[i].time <= ends[j].time) {
+			events = append(events, starts[i])
+			i++
+		} else {
+			events = append(events, ends[j])
+			j++
+		}
+	}
 	return events
 }
 
+// sortEvents orders events by (time, kind, seq). The seq tiebreak —
+// position in the pre-sort build order — makes the comparison a total
+// order, so a fast unstable sort reproduces exactly what a stable
+// (time, kind) sort produces.
 func sortEvents(events []event) {
-	sort.SliceStable(events, func(i, j int) bool { return eventBefore(events[i], events[j]) })
+	slices.SortFunc(events, func(a, b event) int {
+		switch {
+		case a.time != b.time:
+			if a.time < b.time {
+				return -1
+			}
+			return 1
+		case a.kind != b.kind:
+			return int(a.kind) - int(b.kind)
+		default:
+			return int(a.seq) - int(b.seq)
+		}
+	})
 }
 
 // event kinds, processed in time order; at equal times contact starts
 // precede message creations (a message created at the instant a
 // contact begins may use it), and ends come last.
-type eventKind int
+type eventKind int8
 
 const (
 	evContactStart eventKind = iota
@@ -231,11 +381,28 @@ const (
 	evContactEnd
 )
 
+// event is one point of the replay timeline, packed to keep the shared
+// stream cache-resident (24 bytes; node ids fit int16 under the
+// 128-node population bound).
 type event struct {
 	time float64
 	kind eventKind
-	a, b trace.NodeID // contact endpoints
-	msg  int          // message index
+	a, b int16 // contact endpoints
+	msg  int32 // shard-local message index
+	seq  int32 // position in the pre-sort build order (sort tiebreak)
+}
+
+// eventBefore is the sortEvents order. The merge in sim.run compares
+// only across event lists whose ties never share a kind, so the seq
+// tiebreak is never consulted there and the merge stays stable.
+func eventBefore(a, b event) bool {
+	if a.time != b.time {
+		return a.time < b.time
+	}
+	if a.kind != b.kind {
+		return a.kind < b.kind
+	}
+	return a.seq < b.seq
 }
 
 type holderSet [2]uint64
@@ -244,99 +411,209 @@ func (h holderSet) has(n trace.NodeID) bool { return h[n>>6]&(1<<(uint(n)&63)) !
 func (h *holderSet) add(n trace.NodeID)     { h[n>>6] |= 1 << (uint(n) & 63) }
 func (h *holderSet) remove(n trace.NodeID)  { h[n>>6] &^= 1 << (uint(n) & 63) }
 
+// msgState is one message's mutable state; its holder bitset lives in
+// the sim's dense holders slab, and its per-node hop and copy counters
+// live in the shared hop/copy slabs (rows of n entries) — no
+// per-message heap allocations anywhere.
 type msgState struct {
 	msg       Message
-	holders   holderSet
-	hops      []int8 // per-node hop count of its copy
-	copies    []int16
+	global    int32 // index into the run's outcomes slice
 	delivered bool
 	created   bool
 }
 
-type sim struct {
-	cfg      Config // shard configuration; cfg.Messages is superseded by msgs
-	view     *forward.View
-	obs      forward.ContactObserver
-	sprayL   int // 0 when the algorithm has no copy budget
-	open     [][]trace.NodeID
-	msgs     []msgState
-	live     map[int]bool
-	outcomes []Outcome
-	sent     int // total copy transfers, including deliveries
+// liveSet is a dense bitset over shard-local message ids — the set of
+// live (created, undelivered) messages. Iteration (word-and-mask
+// sweeps in the simulator, Each here) runs in ascending id order,
+// deterministic and allocation-free; add, remove and has are O(1) bit
+// operations.
+type liveSet struct {
+	words []uint64
 }
 
-// newSim prepares a simulation of the given message shard; totals and
-// meed are the shared read-only oracle tables.
-func newSim(cfg Config, msgs []Message, totals []int, meed [][]float64) *sim {
-	n := cfg.Trace.NumNodes
-	s := &sim{
-		cfg:  cfg,
-		view: forward.NewView(n),
-		open: make([][]trace.NodeID, n),
-		live: make(map[int]bool),
+// reset sizes the set for n message ids, none live.
+func (l *liveSet) reset(n int) {
+	l.words = growWiped(l.words, (n+63)/64)
+}
+
+func (l *liveSet) add(id int)      { l.words[id>>6] |= 1 << (uint(id) & 63) }
+func (l *liveSet) remove(id int)   { l.words[id>>6] &^= 1 << (uint(id) & 63) }
+func (l *liveSet) has(id int) bool { return l.words[id>>6]&(1<<(uint(id)&63)) != 0 }
+
+// count returns the number of live messages.
+func (l *liveSet) count() int {
+	n := 0
+	for _, w := range l.words {
+		n += bits.OnesCount64(w)
 	}
-	s.view.InstallOracle(totals, meed)
-	if st, ok := cfg.Algorithm.(forward.Stateful); ok {
+	return n
+}
+
+// Each calls fn for every live id in ascending order. fn may remove
+// the id it is passed (but no other).
+func (l *liveSet) Each(fn func(id int)) {
+	for w, word := range l.words {
+		for word != 0 {
+			fn(w<<6 + bits.TrailingZeros64(word))
+			word &= word - 1
+		}
+	}
+}
+
+// sim is one worker's reusable simulation state: everything sized by
+// the population or the message shard lives in buffers that reset
+// reslices and wipes instead of reallocating.
+type sim struct {
+	alg    forward.Algorithm
+	mode   CopyMode
+	view   *forward.View
+	obs    forward.ContactObserver
+	sprayL int  // 0 when the algorithm has no copy budget
+	floods bool // algorithm always consents (forward.Flooder)
+	fwdAll bool // floods and no copy budget: every forward check passes
+	n      int
+
+	open    [][]trace.NodeID // per-node open contacts (multiset)
+	msgs    []msgState       // shard-local message states
+	holders []holderSet      // per-message holder bitsets (dense, id-indexed)
+	heldBy  []uint64         // per-node message bitsets: node x holds id ⟺ row(x) bit id
+	wpm     int              // words per heldBy row: ceil(len(msgs)/64)
+	live    liveSet          // created, undelivered messages
+	hops    []int8           // shard×n slab; row i is message i's per-node hop counts
+	copies  []int16          // shard×n slab (copy budgets); empty unless sprayL > 0
+	queue   []trace.NodeID   // spread BFS queue (head-indexed, reused)
+	creates []event          // this shard's creation events
+
+	messages []Message // the run's full message list (read-only)
+	outcomes []Outcome // the run's full outcome slice (strided writes)
+	base     int       // first global message index of this shard
+	stride   int       // worker count of the run
+	sent     int       // total copy transfers, including deliveries
+}
+
+// reset prepares the sim for one run: shard [base::stride] of messages
+// under alg/mode, writing outcomes at their global indices. All
+// buffers are resliced from retained capacity and wiped, so a reset
+// sim is indistinguishable from a freshly constructed one.
+func (s *sim) reset(alg forward.Algorithm, mode CopyMode, oracle *Oracle, messages []Message, base, stride int, outcomes []Outcome) {
+	n := oracle.tr.NumNodes
+	s.alg, s.mode, s.n = alg, mode, n
+	s.messages, s.outcomes = messages, outcomes
+	s.base, s.stride = base, stride
+	s.sent = 0
+
+	if s.view == nil || s.view.NumNodes() != n {
+		s.view = forward.NewView(n)
+	} else {
+		s.view.Reset()
+	}
+	s.view.InstallOracle(oracle.totals, oracle.meed)
+
+	s.obs = nil
+	if st, ok := alg.(forward.Stateful); ok {
 		st.Reset(n)
 	}
-	if o, ok := cfg.Algorithm.(forward.ContactObserver); ok {
+	if o, ok := alg.(forward.ContactObserver); ok {
 		s.obs = o
 	}
-	if cb, ok := cfg.Algorithm.(forward.CopyBudget); ok {
+	s.sprayL = 0
+	if cb, ok := alg.(forward.CopyBudget); ok {
 		s.sprayL = cb.InitialCopies()
 	}
-	s.msgs = make([]msgState, len(msgs))
-	s.outcomes = make([]Outcome, len(msgs))
-	for i, m := range msgs {
-		s.msgs[i].msg = m
-		s.msgs[i].hops = make([]int8, n)
-		if s.sprayL > 0 {
-			s.msgs[i].copies = make([]int16, n)
-		}
-		s.outcomes[i] = Outcome{Msg: m}
+	s.floods = false
+	if f, ok := alg.(forward.Flooder); ok {
+		s.floods = f.AlwaysForwards()
 	}
-	return s
+	s.fwdAll = s.floods && s.sprayL == 0
+
+	if len(s.open) != n {
+		s.open = make([][]trace.NodeID, n)
+	} else {
+		for i := range s.open {
+			s.open[i] = s.open[i][:0]
+		}
+	}
+
+	count := 0
+	if base < len(messages) {
+		count = (len(messages) - base + stride - 1) / stride
+	}
+	s.msgs = growSlice(s.msgs, count)
+	s.holders = growSlice(s.holders, count)
+	s.wpm = (count + 63) / 64
+	s.heldBy = growWiped(s.heldBy, n*s.wpm)
+	s.live.reset(count)
+	s.hops = growWiped(s.hops, count*n)
+	if s.sprayL > 0 {
+		s.copies = growWiped(s.copies, count*n)
+	}
+	for j := 0; j < count; j++ {
+		gi := base + j*stride
+		s.msgs[j] = msgState{msg: messages[gi], global: int32(gi)}
+		s.holders[j] = holderSet{}
+		s.outcomes[gi] = Outcome{Msg: messages[gi]}
+	}
 }
+
+// growSlice reslices buf to size, reusing capacity; contents are
+// overwritten by the caller.
+func growSlice[T any](buf []T, size int) []T {
+	if cap(buf) < size {
+		return make([]T, size)
+	}
+	return buf[:size]
+}
+
+// growWiped reslices buf to size, reusing capacity, and zeroes it.
+func growWiped[T int8 | int16 | uint64](buf []T, size int) []T {
+	if cap(buf) < size {
+		return make([]T, size) // fresh memory is already zero
+	}
+	buf = buf[:size]
+	clear(buf)
+	return buf
+}
+
+// heldRow returns node x's held-message bitset words.
+func (s *sim) heldRow(x trace.NodeID) []uint64 {
+	return s.heldBy[int(x)*s.wpm : (int(x)+1)*s.wpm]
+}
+
+// hopsRow returns message id's per-node hop counters.
+func (s *sim) hopsRow(id int) []int8 { return s.hops[id*s.n : (id+1)*s.n] }
+
+// copiesRow returns message id's per-node copy budgets.
+func (s *sim) copiesRow(id int) []int16 { return s.copies[id*s.n : (id+1)*s.n] }
 
 // run replays the shared contact events interleaved with this shard's
 // message creations. Only the shard's (few) creation events need
 // sorting; they are then merged into the pre-sorted contact stream in
 // linear time, in exactly the (time, kind) order sortEvents produces.
 func (s *sim) run(contactEvents []event) {
-	creates := make([]event, 0, len(s.msgs))
+	s.creates = s.creates[:0]
 	for i := range s.msgs {
-		creates = append(creates, event{time: s.msgs[i].msg.Start, kind: evMsgCreate, msg: i})
+		s.creates = append(s.creates, event{time: s.msgs[i].msg.Start, kind: evMsgCreate, msg: int32(i), seq: int32(i)})
 	}
-	sortEvents(creates)
+	sortEvents(s.creates)
 	i, j := 0, 0
-	for i < len(contactEvents) || j < len(creates) {
+	for i < len(contactEvents) || j < len(s.creates) {
 		var ev event
-		if j >= len(creates) || (i < len(contactEvents) && eventBefore(contactEvents[i], creates[j])) {
+		if j >= len(s.creates) || (i < len(contactEvents) && eventBefore(contactEvents[i], s.creates[j])) {
 			ev = contactEvents[i]
 			i++
 		} else {
-			ev = creates[j]
+			ev = s.creates[j]
 			j++
 		}
 		switch ev.kind {
 		case evContactStart:
-			s.contactStart(ev.a, ev.b, ev.time)
+			s.contactStart(trace.NodeID(ev.a), trace.NodeID(ev.b), ev.time)
 		case evMsgCreate:
-			s.createMessage(ev.msg, ev.time)
+			s.createMessage(int(ev.msg), ev.time)
 		case evContactEnd:
-			s.contactEnd(ev.a, ev.b)
+			s.contactEnd(trace.NodeID(ev.a), trace.NodeID(ev.b))
 		}
 	}
-}
-
-// eventBefore is the sortEvents order: time, then kind (starts before
-// creations before ends). Cross-list ties never share a kind, so the
-// merge is stable.
-func eventBefore(a, b event) bool {
-	if a.time != b.time {
-		return a.time < b.time
-	}
-	return a.kind < b.kind
 }
 
 func (s *sim) contactStart(a, b trace.NodeID, now float64) {
@@ -350,9 +627,35 @@ func (s *sim) contactStart(a, b trace.NodeID, now float64) {
 	}
 	s.open[a] = append(s.open[a], b)
 	s.open[b] = append(s.open[b], a)
-	for id := range s.live {
-		s.exchange(id, a, b, now)
-		s.exchange(id, b, a, now)
+	// The messages that can act at this contact are exactly the live
+	// ones held by one endpoint and not the other: a XOR over the two
+	// nodes' held-message bitsets, masked by the live set, finds them
+	// in a few words per contact regardless of how many messages are
+	// in flight. Each word is snapshotted before its ids are processed;
+	// an exchange mutates only the bits of the id being processed, so
+	// the snapshot stays exact for the ids that follow.
+	replicate := s.mode == Replicate
+	ra, rb := s.heldRow(a), s.heldRow(b)
+	for w, lw := range s.live.words {
+		x := (ra[w] ^ rb[w]) & lw
+		for x != 0 {
+			id := w<<6 + bits.TrailingZeros64(x)
+			x &= x - 1
+			if replicate {
+				// Holder sets only grow, so only the holding side's
+				// direction can act.
+				if s.holders[id].has(a) {
+					s.exchange(id, a, b, now)
+				} else {
+					s.exchange(id, b, a, now)
+				}
+			} else {
+				// Relay mode: the first hand-off can reverse the
+				// roles, so both directions run.
+				s.exchange(id, a, b, now)
+				s.exchange(id, b, a, now)
+			}
+		}
 	}
 }
 
@@ -374,11 +677,11 @@ func removeNode(list []trace.NodeID, n trace.NodeID) []trace.NodeID {
 func (s *sim) createMessage(id int, now float64) {
 	m := &s.msgs[id]
 	m.created = true
-	m.holders.add(m.msg.Src)
+	s.setHolder(id, m.msg.Src)
 	if s.sprayL > 0 {
-		m.copies[m.msg.Src] = int16(s.sprayL)
+		s.copiesRow(id)[m.msg.Src] = int16(s.sprayL)
 	}
-	s.live[id] = true
+	s.live.add(id)
 	// The source may already be inside a live contact component;
 	// spread (or deliver, which removes the message from the live set)
 	// immediately.
@@ -387,18 +690,32 @@ func (s *sim) createMessage(id int, now float64) {
 	s.spread(id, m.msg.Src, now, seen)
 }
 
+// setHolder marks node x a holder of message id in both directions of
+// the index (message→nodes bitset and node→messages bitset).
+func (s *sim) setHolder(id int, x trace.NodeID) {
+	s.holders[id].add(x)
+	s.heldRow(x)[id>>6] |= 1 << (uint(id) & 63)
+}
+
+// clearHolder removes node x from message id's holders (relay mode).
+func (s *sim) clearHolder(id int, x trace.NodeID) {
+	s.holders[id].remove(x)
+	s.heldRow(x)[id>>6] &^= 1 << (uint(id) & 63)
+}
+
 // exchange considers handing message id from holder to peer at a
 // contact event, then lets the message spread onward from the peer.
 func (s *sim) exchange(id int, holder, peer trace.NodeID, now float64) {
 	m := &s.msgs[id]
-	if m.delivered || !m.created || !m.holders.has(holder) || m.holders.has(peer) {
+	h := &s.holders[id]
+	if m.delivered || !m.created || !h.has(holder) || h.has(peer) {
 		return
 	}
 	if peer == m.msg.Dst {
 		s.deliver(id, holder, now)
 		return
 	}
-	if !s.shouldForward(id, holder, peer, now) {
+	if !(s.fwdAll || s.shouldForward(id, holder, peer, now)) {
 		return
 	}
 	s.transfer(id, holder, peer)
@@ -419,34 +736,35 @@ func (s *sim) exchange(id int, holder, peer trace.NodeID, now float64) {
 // grow, so seen ⊆ holders and the guard changes nothing.
 func (s *sim) spread(id int, from trace.NodeID, now float64, seen holderSet) {
 	m := &s.msgs[id]
+	h := &s.holders[id]
 	if m.delivered {
 		return
 	}
-	queue := []trace.NodeID{from}
-	for len(queue) > 0 && !m.delivered {
-		cur := queue[0]
-		queue = queue[1:]
-		if !m.holders.has(cur) {
+	dst := m.msg.Dst
+	q := append(s.queue[:0], from)
+	for head := 0; head < len(q) && !m.delivered; head++ {
+		cur := q[head]
+		if !h.has(cur) {
 			continue // copy moved on (relay mode)
 		}
 		for _, peer := range s.open[cur] {
 			if m.delivered {
-				return
+				break
 			}
-			if m.holders.has(peer) {
+			if h.has(peer) {
 				continue
 			}
-			if peer == m.msg.Dst {
+			if peer == dst {
 				s.deliver(id, cur, now)
-				return
+				break
 			}
-			if seen.has(peer) || !s.shouldForward(id, cur, peer, now) {
+			if seen.has(peer) || !(s.fwdAll || s.shouldForward(id, cur, peer, now)) {
 				continue
 			}
 			s.transfer(id, cur, peer)
 			seen.add(peer)
-			queue = append(queue, peer)
-			if !m.holders.has(cur) {
+			q = append(q, peer)
+			if !h.has(cur) {
 				// Relay mode: cur handed its single copy to peer and
 				// has nothing left to forward or deliver from —
 				// continuing the loop would duplicate the copy.
@@ -454,28 +772,32 @@ func (s *sim) spread(id int, from trace.NodeID, now float64, seen holderSet) {
 			}
 		}
 	}
+	s.queue = q[:0] // retain any growth for the next propagation
 }
 
 func (s *sim) shouldForward(id int, holder, peer trace.NodeID, now float64) bool {
-	m := &s.msgs[id]
-	if s.sprayL > 0 && m.copies[holder] <= 1 {
+	if s.sprayL > 0 && s.copiesRow(id)[holder] <= 1 {
 		return false // wait phase: only direct delivery
 	}
-	return s.cfg.Algorithm.Forward(s.view, holder, peer, m.msg.Dst, now)
+	if s.floods {
+		return true // flooding algorithm: skip the indirect call
+	}
+	return s.alg.Forward(s.view, holder, peer, s.msgs[id].msg.Dst, now)
 }
 
 func (s *sim) transfer(id int, holder, peer trace.NodeID) {
 	s.sent++
-	m := &s.msgs[id]
-	m.holders.add(peer)
-	m.hops[peer] = m.hops[holder] + 1
+	s.setHolder(id, peer)
+	hops := s.hopsRow(id)
+	hops[peer] = hops[holder] + 1
 	if s.sprayL > 0 {
-		half := m.copies[holder] / 2
-		m.copies[peer] = half
-		m.copies[holder] -= half
+		copies := s.copiesRow(id)
+		half := copies[holder] / 2
+		copies[peer] = half
+		copies[holder] -= half
 	}
-	if s.cfg.CopyMode == Relay {
-		m.holders.remove(holder)
+	if s.mode == Relay {
+		s.clearHolder(id, holder)
 	}
 }
 
@@ -483,10 +805,11 @@ func (s *sim) deliver(id int, holder trace.NodeID, now float64) {
 	s.sent++
 	m := &s.msgs[id]
 	m.delivered = true
-	s.outcomes[id].Delivered = true
-	s.outcomes[id].Delay = now - m.msg.Start
-	s.outcomes[id].Hops = int(m.hops[holder]) + 1
-	delete(s.live, id)
+	out := &s.outcomes[m.global]
+	out.Delivered = true
+	out.Delay = now - m.msg.Start
+	out.Hops = int(s.hopsRow(id)[holder]) + 1
+	s.live.remove(id)
 }
 
 // SuccessRate returns the fraction of messages delivered.
@@ -531,11 +854,16 @@ func (r *Result) Delays() []float64 {
 }
 
 // ByPairType partitions outcomes by the in/out class of their
-// endpoints (§5.2) under cl.
+// endpoints (§5.2) under cl. Each partition's outcome slice is
+// preallocated at its exact size from a counting pass.
 func (r *Result) ByPairType(cl *trace.Classifier) map[trace.PairType]*Result {
-	out := make(map[trace.PairType]*Result, 4)
+	var counts [len(trace.PairTypes)]int
+	for _, o := range r.Outcomes {
+		counts[cl.Classify(o.Msg.Src, o.Msg.Dst)]++
+	}
+	out := make(map[trace.PairType]*Result, len(trace.PairTypes))
 	for _, pt := range trace.PairTypes {
-		out[pt] = &Result{Algorithm: r.Algorithm}
+		out[pt] = &Result{Algorithm: r.Algorithm, Outcomes: make([]Outcome, 0, counts[pt])}
 	}
 	for _, o := range r.Outcomes {
 		pt := cl.Classify(o.Msg.Src, o.Msg.Dst)
@@ -544,12 +872,20 @@ func (r *Result) ByPairType(cl *trace.Classifier) map[trace.PairType]*Result {
 	return out
 }
 
-// Merge combines results from multiple runs of the same algorithm.
+// Merge combines results from multiple runs of the same algorithm into
+// one preallocated outcome slice.
 func Merge(rs ...*Result) *Result {
 	if len(rs) == 0 {
 		return &Result{}
 	}
+	total := 0
+	for _, r := range rs {
+		total += len(r.Outcomes)
+	}
 	m := &Result{Algorithm: rs[0].Algorithm}
+	if total > 0 {
+		m.Outcomes = make([]Outcome, 0, total)
+	}
 	for _, r := range rs {
 		m.Outcomes = append(m.Outcomes, r.Outcomes...)
 		m.Transmissions += r.Transmissions

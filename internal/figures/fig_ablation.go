@@ -135,12 +135,16 @@ func renderAB2(h *Harness, w io.Writer) error {
 // history-based algorithms.
 func (h *Harness) ComputeAB3() ([]PerfRow, error) {
 	tr := h.Trace(h.P.Datasets[0])
+	sw, err := h.sweep(h.P.Datasets[0])
+	if err != nil {
+		return nil, err
+	}
 	msgs := workload(tr, h.P, 0)
 	algos := []forward.Algorithm{forward.FRESH{}, forward.Greedy{}, forward.GreedyTotal{}}
 	var out []PerfRow
 	for _, mode := range []dtnsim.CopyMode{dtnsim.Replicate, dtnsim.Relay} {
 		for _, a := range algos {
-			r, err := dtnsim.Run(dtnsim.Config{Trace: tr, Algorithm: a, Messages: msgs, CopyMode: mode})
+			r, err := sw.Run(dtnsim.Config{Algorithm: a, Messages: msgs, CopyMode: mode})
 			if err != nil {
 				return nil, err
 			}

@@ -148,6 +148,10 @@ func (h *Harness) ComputeFig12() ([]MessageBursts, error) {
 	if err != nil {
 		return nil, err
 	}
+	sw, err := h.sweep(h.P.Datasets[0])
+	if err != nil {
+		return nil, err
+	}
 	var out []MessageBursts
 	for _, r := range st.Results {
 		if len(out) == 2 {
@@ -160,8 +164,7 @@ func (h *Harness) ComputeFig12() ([]MessageBursts, error) {
 		t1, _ := r.T1()
 		mb := MessageBursts{Msg: r.Msg, Bursts: counts, T1: t1, AlgDelay: map[string]float64{}}
 		for _, alg := range forward.PaperSet() {
-			sim, err := dtnsim.Run(dtnsim.Config{
-				Trace:     st.Trace,
+			sim, err := sw.Run(dtnsim.Config{
 				Algorithm: alg,
 				Messages:  []dtnsim.Message{{Src: r.Msg.Src, Dst: r.Msg.Dst, Start: r.Msg.Start}},
 			})

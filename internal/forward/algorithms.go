@@ -66,6 +66,15 @@ func ParallelInstances(a Algorithm, n int) ([]Algorithm, bool) {
 	return out, true
 }
 
+// Flooder is an optional marker interface for algorithms whose Forward
+// always consents (flooding). The simulator's hot path skips the
+// indirect per-candidate decision call for such algorithms; any other
+// gating (e.g. a copy budget's wait phase) still applies.
+type Flooder interface {
+	// AlwaysForwards reports that Forward returns true for every input.
+	AlwaysForwards() bool
+}
+
 // CopyBudget is an optional interface marking binary-spray semantics:
 // each message starts with InitialCopies logical copies at the source;
 // a transfer hands the recipient half of the holder's copies; holders
@@ -84,6 +93,9 @@ func (Epidemic) Name() string { return "Epidemic" }
 func (Epidemic) Forward(*View, trace.NodeID, trace.NodeID, trace.NodeID, float64) bool {
 	return true
 }
+
+// AlwaysForwards implements Flooder.
+func (Epidemic) AlwaysForwards() bool { return true }
 
 // FRESH forwards to nodes that met the destination more recently
 // (Dubois-Ferriere, Grossglauser & Vetterli's encounter-age routing):
@@ -174,6 +186,9 @@ func (SprayAndWait) Forward(*View, trace.NodeID, trace.NodeID, trace.NodeID, flo
 	return true
 }
 
+// AlwaysForwards implements Flooder.
+func (SprayAndWait) AlwaysForwards() bool { return true }
+
 // PRoPHET forwards on higher delivery predictability (Lindgren, Doria
 // & Schelen): P(a,b) grows on encounters, ages over time, and picks up
 // transitive contributions.
@@ -182,9 +197,16 @@ type PRoPHET struct {
 	// select the RFC 6693 defaults (0.75, 0.25, 0.98 per second unit).
 	PInit, Beta, Gamma float64
 
-	p        [][]float64
+	// p is the flat row-major n×n predictability table: p[a*n+b] is
+	// P(a,b). One allocation, and aging walks a contiguous row.
+	p        []float64
 	lastAged []float64
 	n        int
+}
+
+// row returns node a's predictability row p[a][·].
+func (p *PRoPHET) row(a trace.NodeID) []float64 {
+	return p.p[int(a)*p.n : (int(a)+1)*p.n]
 }
 
 func (p *PRoPHET) Name() string { return "PRoPHET" }
@@ -212,10 +234,14 @@ func (p *PRoPHET) Clone() Algorithm {
 // Reset implements Stateful.
 func (p *PRoPHET) Reset(numNodes int) {
 	p.n = numNodes
-	p.p = make([][]float64, numNodes)
-	for i := range p.p {
-		p.p[i] = make([]float64, numNodes)
+	if cap(p.p) >= numNodes*numNodes && cap(p.lastAged) >= numNodes {
+		p.p = p.p[:numNodes*numNodes]
+		clear(p.p)
+		p.lastAged = p.lastAged[:numNodes]
+		clear(p.lastAged)
+		return
 	}
+	p.p = make([]float64, numNodes*numNodes)
 	p.lastAged = make([]float64, numNodes)
 }
 
@@ -229,8 +255,9 @@ func (p *PRoPHET) age(a trace.NodeID, now float64) {
 		return
 	}
 	f := math.Pow(gamma, dt)
-	for j := range p.p[a] {
-		p.p[a][j] *= f
+	row := p.row(a)
+	for j := range row {
+		row[j] *= f
 	}
 	p.lastAged[a] = now
 }
@@ -244,14 +271,15 @@ func (p *PRoPHET) OnContact(a, b trace.NodeID, now float64) {
 	pinit, beta, _ := p.params()
 	p.age(a, now)
 	p.age(b, now)
-	p.p[a][b] += (1 - p.p[a][b]) * pinit
-	p.p[b][a] += (1 - p.p[b][a]) * pinit
+	rowA, rowB := p.row(a), p.row(b)
+	rowA[b] += (1 - rowA[b]) * pinit
+	rowB[a] += (1 - rowB[a]) * pinit
 	for c := 0; c < p.n; c++ {
 		if trace.NodeID(c) == a || trace.NodeID(c) == b {
 			continue
 		}
-		p.p[a][c] += (1 - p.p[a][c]) * p.p[a][b] * p.p[b][c] * beta
-		p.p[b][c] += (1 - p.p[b][c]) * p.p[b][a] * p.p[a][c] * beta
+		rowA[c] += (1 - rowA[c]) * rowA[b] * rowB[c] * beta
+		rowB[c] += (1 - rowB[c]) * rowB[a] * rowA[c] * beta
 	}
 }
 
@@ -261,7 +289,7 @@ func (p *PRoPHET) Forward(_ *View, holder, peer, dst trace.NodeID, _ float64) bo
 	if p.p == nil {
 		return false
 	}
-	return p.p[peer][dst] > p.p[holder][dst]
+	return p.p[int(peer)*p.n+int(dst)] > p.p[int(holder)*p.n+int(dst)]
 }
 
 // PaperSet returns the six algorithms the paper compares in §6, in

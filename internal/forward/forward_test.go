@@ -58,21 +58,27 @@ func TestMEEDDistances(t *testing.T) {
 		t.Fatal(err)
 	}
 	d := MEEDDistances(tr)
-	if got, want := d[0][1], 1000.0/5; got != want {
+	if got, want := d.At(0, 1), 1000.0/5; got != want {
 		t.Errorf("d(0,1) = %g, want %g", got, want)
 	}
-	if got, want := d[1][2], 1000.0/2; got != want {
+	if got, want := d.At(1, 2), 1000.0/2; got != want {
 		t.Errorf("d(1,2) = %g, want %g", got, want)
 	}
 	// 0->2 goes through 1: 200 + 500.
-	if got, want := d[0][2], 700.0; got != want {
+	if got, want := d.At(0, 2), 700.0; got != want {
 		t.Errorf("d(0,2) = %g, want %g", got, want)
 	}
-	if !math.IsInf(d[0][3], 1) {
+	if !math.IsInf(d.At(0, 3), 1) {
 		t.Errorf("d(0,3) should be +Inf (node 3 isolated)")
 	}
-	if d[0][0] != 0 {
-		t.Errorf("d(0,0) = %g, want 0", d[0][0])
+	if d.At(0, 0) != 0 {
+		t.Errorf("d(0,0) = %g, want 0", d.At(0, 0))
+	}
+	if d.Size() != 4 {
+		t.Errorf("Size = %d, want 4", d.Size())
+	}
+	if row := d.Row(0); len(row) != 4 || row[1] != d.At(0, 1) {
+		t.Errorf("Row(0) = %v, want len 4 aliasing At(0,·)", row)
 	}
 }
 
@@ -213,10 +219,10 @@ func TestPRoPHETAging(t *testing.T) {
 	p := &PRoPHET{}
 	p.Reset(3)
 	p.OnContact(0, 2, 0)
-	before := p.p[0][2]
+	before := p.row(0)[2]
 	// A later unrelated contact triggers aging of node 0's table.
 	p.OnContact(0, 1, 10000)
-	if after := p.p[0][2]; after >= before {
+	if after := p.row(0)[2]; after >= before {
 		t.Errorf("predictability did not age: %g -> %g", before, after)
 	}
 }
@@ -226,7 +232,7 @@ func TestPRoPHETTransitive(t *testing.T) {
 	p.Reset(4)
 	p.OnContact(1, 3, 0) // 1 knows 3
 	p.OnContact(0, 1, 1) // 0 meets 1: picks up transitive P(0,3)
-	if p.p[0][3] <= 0 {
+	if p.row(0)[3] <= 0 {
 		t.Errorf("transitive predictability not propagated")
 	}
 }

@@ -17,28 +17,70 @@ import (
 	"repro/internal/trace"
 )
 
+// DistMatrix is a dense n×n distance matrix stored row-major in one
+// backing slice, so a whole row — the unit both the Floyd-Warshall
+// closure and the simulator's per-destination lookups walk — is
+// contiguous in memory. It is immutable once built and safe for
+// concurrent readers.
+type DistMatrix struct {
+	n int
+	d []float64
+}
+
+// NewDistMatrix returns an n×n matrix of +Inf with a zero diagonal
+// (the standard shortest-path initial state).
+func NewDistMatrix(n int) *DistMatrix {
+	m := &DistMatrix{n: n, d: make([]float64, n*n)}
+	for i := range m.d {
+		m.d[i] = math.Inf(1)
+	}
+	for i := 0; i < n; i++ {
+		m.d[i*n+i] = 0
+	}
+	return m
+}
+
+// Size returns the matrix dimension.
+func (m *DistMatrix) Size() int { return m.n }
+
+// At returns the distance from a to b.
+func (m *DistMatrix) At(a, b trace.NodeID) float64 { return m.d[int(a)*m.n+int(b)] }
+
+// Row returns the distances from a to every node. The returned slice
+// aliases the matrix; callers must not modify it.
+func (m *DistMatrix) Row(a trace.NodeID) []float64 {
+	return m.d[int(a)*m.n : (int(a)+1)*m.n]
+}
+
+// set writes the distance from a to b (build-time only).
+func (m *DistMatrix) set(a, b trace.NodeID, v float64) { m.d[int(a)*m.n+int(b)] = v }
+
 // View is the contact knowledge shared by all nodes at one instant of
 // a simulation. The paper's algorithms assume nodes can learn each
 // other's contact history on encounter; exposing one global view is
 // the standard simplification (information is only ever *used* at
 // encounters).
+//
+// The pairwise tables are flat row-major slices (index a*n+b) rather
+// than per-node heap rows: one allocation each, contiguous in memory,
+// and cheap to wipe when a pooled simulation resets the view between
+// runs.
 type View struct {
 	numNodes int
 
-	// lastEnc[a][b] is the most recent time a and b were in contact,
+	// lastEnc[a*n+b] is the most recent time a and b were in contact,
 	// or -Inf if they have not met yet.
-	lastEnc [][]float64
-	// encCount[a][b] is the number of contacts between a and b so far.
-	encCount [][]int
+	lastEnc []float64
+	// encCount[a*n+b] is the number of contacts between a and b so far.
+	encCount []int32
 	// soFar[a] is a's total number of contacts so far.
-	soFar []int
+	soFar []int32
 
 	// totals[a] is a's total contacts over the whole trace (oracle).
 	totals []int
-	// meedDist[a][b] is the expected-delay distance from a to b under
-	// the MEED metric computed over the whole trace (oracle); +Inf if
-	// unreachable.
-	meedDist [][]float64
+	// meed holds the expected-delay distances under the MEED metric
+	// computed over the whole trace (oracle); +Inf if unreachable.
+	meed *DistMatrix
 }
 
 // NewView allocates a View for n nodes with empty history and no
@@ -46,18 +88,26 @@ type View struct {
 func NewView(n int) *View {
 	v := &View{
 		numNodes: n,
-		lastEnc:  make([][]float64, n),
-		encCount: make([][]int, n),
-		soFar:    make([]int, n),
+		lastEnc:  make([]float64, n*n),
+		encCount: make([]int32, n*n),
+		soFar:    make([]int32, n),
 	}
-	for i := 0; i < n; i++ {
-		v.lastEnc[i] = make([]float64, n)
-		for j := range v.lastEnc[i] {
-			v.lastEnc[i][j] = math.Inf(-1)
-		}
-		v.encCount[i] = make([]int, n)
+	for i := range v.lastEnc {
+		v.lastEnc[i] = math.Inf(-1)
 	}
 	return v
+}
+
+// Reset wipes the observed contact history, returning the view to its
+// freshly-constructed state. Installed oracle tables are kept: they
+// are pure functions of the trace, so a pooled simulation reusing the
+// view across runs of one trace keeps them in place.
+func (v *View) Reset() {
+	for i := range v.lastEnc {
+		v.lastEnc[i] = math.Inf(-1)
+	}
+	clear(v.encCount)
+	clear(v.soFar)
 }
 
 // NumNodes returns the population size.
@@ -67,23 +117,29 @@ func (v *View) NumNodes() int { return v.numNodes }
 // simulator calls this at every contact start, before forwarding
 // decisions for that contact are made.
 func (v *View) Observe(a, b trace.NodeID, now float64) {
-	v.lastEnc[a][b] = now
-	v.lastEnc[b][a] = now
-	v.encCount[a][b]++
-	v.encCount[b][a]++
+	ab := int(a)*v.numNodes + int(b)
+	ba := int(b)*v.numNodes + int(a)
+	v.lastEnc[ab] = now
+	v.lastEnc[ba] = now
+	v.encCount[ab]++
+	v.encCount[ba]++
 	v.soFar[a]++
 	v.soFar[b]++
 }
 
 // LastEncounter returns the most recent contact time between a and b,
 // or -Inf if they have not met.
-func (v *View) LastEncounter(a, b trace.NodeID) float64 { return v.lastEnc[a][b] }
+func (v *View) LastEncounter(a, b trace.NodeID) float64 {
+	return v.lastEnc[int(a)*v.numNodes+int(b)]
+}
 
 // EncounterCount returns the number of contacts between a and b so far.
-func (v *View) EncounterCount(a, b trace.NodeID) int { return v.encCount[a][b] }
+func (v *View) EncounterCount(a, b trace.NodeID) int {
+	return int(v.encCount[int(a)*v.numNodes+int(b)])
+}
 
 // ContactsSoFar returns a's total number of contacts so far.
-func (v *View) ContactsSoFar(a trace.NodeID) int { return v.soFar[a] }
+func (v *View) ContactsSoFar(a trace.NodeID) int { return int(v.soFar[a]) }
 
 // TotalContacts returns a's whole-trace contact total (oracle); zero
 // before SetOracle.
@@ -97,10 +153,10 @@ func (v *View) TotalContacts(a trace.NodeID) int {
 // MEEDDistance returns the oracle expected-delay distance from a to b,
 // or +Inf when unreachable or before SetOracle.
 func (v *View) MEEDDistance(a, b trace.NodeID) float64 {
-	if v.meedDist == nil {
+	if v.meed == nil {
 		return math.Inf(1)
 	}
-	return v.meedDist[a][b]
+	return v.meed.At(a, b)
 }
 
 // SetOracle installs the future-knowledge tables used by Greedy Total
@@ -112,9 +168,9 @@ func (v *View) SetOracle(tr *trace.Trace) {
 // InstallOracle installs precomputed oracle tables. The tables are
 // read-only once installed, so parallel simulation shards can share
 // one computation of the O(n³) MEED metric across their views.
-func (v *View) InstallOracle(totals []int, meedDist [][]float64) {
+func (v *View) InstallOracle(totals []int, meed *DistMatrix) {
 	v.totals = totals
-	v.meedDist = meedDist
+	v.meed = meed
 }
 
 // MEEDDistances computes the Minimum Estimated Expected Delay metric
@@ -124,41 +180,37 @@ func (v *View) InstallOracle(totals []int, meedDist [][]float64) {
 // renewals of a Poisson-like process), and all-pairs expected-delay
 // distances follow by Floyd-Warshall. Pairs that never meet have
 // infinite direct delay.
-func MEEDDistances(tr *trace.Trace) [][]float64 {
+//
+// The closure runs over the flat row-major backing: row k and row i
+// are each walked contiguously, so the O(n³) inner loop is limited by
+// arithmetic rather than pointer-chasing per-node heap rows.
+func MEEDDistances(tr *trace.Trace) *DistMatrix {
 	n := tr.NumNodes
-	dist := make([][]float64, n)
-	for i := range dist {
-		dist[i] = make([]float64, n)
-		for j := range dist[i] {
-			if i != j {
-				dist[i][j] = math.Inf(1)
-			}
-		}
-	}
-	counts := make([][]int, n)
-	for i := range counts {
-		counts[i] = make([]int, n)
-	}
+	dist := NewDistMatrix(n)
+	counts := make([]int32, n*n)
 	for _, c := range tr.Contacts() {
-		counts[c.A][c.B]++
-		counts[c.B][c.A]++
+		counts[int(c.A)*n+int(c.B)]++
+		counts[int(c.B)*n+int(c.A)]++
 	}
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
-			if i != j && counts[i][j] > 0 {
-				dist[i][j] = tr.Horizon / float64(counts[i][j]+1)
+			if i != j && counts[i*n+j] > 0 {
+				dist.set(trace.NodeID(i), trace.NodeID(j), tr.Horizon/float64(counts[i*n+j]+1))
 			}
 		}
 	}
+	d := dist.d
 	for k := 0; k < n; k++ {
+		rowK := d[k*n : (k+1)*n : (k+1)*n]
 		for i := 0; i < n; i++ {
-			dik := dist[i][k]
+			dik := d[i*n+k]
 			if math.IsInf(dik, 1) {
 				continue
 			}
-			for j := 0; j < n; j++ {
-				if d := dik + dist[k][j]; d < dist[i][j] {
-					dist[i][j] = d
+			rowI := d[i*n : (i+1)*n : (i+1)*n]
+			for j, dkj := range rowK {
+				if v := dik + dkj; v < rowI[j] {
+					rowI[j] = v
 				}
 			}
 		}

@@ -11,21 +11,23 @@ import (
 // artifacts caches the expensive immutable per-dataset structures
 // every request path needs: the indexed space-time graph (per dataset
 // and discretization step), enumerators over it (per enumeration
-// budget), the simulator's oracle tables (per dataset), and figure
-// harnesses (per parameter set). Each is built once behind
-// singleflight and shared by all concurrent requests; all of them are
-// documented safe for concurrent use by their packages. The caches
-// are size-bounded LRUs because several key dimensions (delta,
-// enumeration budgets, harness scale) are client-controlled: without
-// a bound, a client sweeping distinct parameter values would pin one
-// multi-megabyte graph or enumerator (whose pooled scratch retains
-// arena chunks) per value until the server runs out of memory.
+// budget), the simulator's sweep engine (per dataset — oracle tables
+// plus pooled per-run state, so warm repeated /simulate requests pay
+// only the replay), and figure harnesses (per parameter set). Each is
+// built once behind singleflight and shared by all concurrent
+// requests; all of them are documented safe for concurrent use by
+// their packages. The caches are size-bounded LRUs because several
+// key dimensions (delta, enumeration budgets, harness scale) are
+// client-controlled: without a bound, a client sweeping distinct
+// parameter values would pin one multi-megabyte graph or enumerator
+// (whose pooled scratch retains arena chunks) per value until the
+// server runs out of memory.
 type artifacts struct {
 	reg *Registry
 
 	graphs    *memoMap[graphKey, *stgraph.Graph]
 	enums     *memoMap[enumKey, *pathenum.Enumerator]
-	oracles   *memoMap[string, *dtnsim.Oracle]
+	sweeps    *memoMap[string, *dtnsim.Sweep]
 	harnesses *memoMap[harnessKey, *figures.Harness]
 }
 
@@ -63,7 +65,7 @@ type harnessKey struct {
 const (
 	maxCachedGraphs    = 16
 	maxCachedEnums     = 32
-	maxCachedOracles   = 32
+	maxCachedSweeps    = 32
 	maxCachedHarnesses = 8
 )
 
@@ -72,7 +74,7 @@ func newArtifacts(reg *Registry) *artifacts {
 		reg:       reg,
 		graphs:    newMemoMap[graphKey, *stgraph.Graph](maxCachedGraphs),
 		enums:     newMemoMap[enumKey, *pathenum.Enumerator](maxCachedEnums),
-		oracles:   newMemoMap[string, *dtnsim.Oracle](maxCachedOracles),
+		sweeps:    newMemoMap[string, *dtnsim.Sweep](maxCachedSweeps),
 		harnesses: newMemoMap[harnessKey, *figures.Harness](maxCachedHarnesses),
 	}
 }
@@ -111,16 +113,18 @@ func (a *artifacts) enumerator(dataset string, opt pathenum.Options) (*pathenum.
 	})
 }
 
-// oracle returns the dataset's precomputed simulation tables.
-func (a *artifacts) oracle(dataset string) (*dtnsim.Oracle, *trace.Trace, error) {
+// sweep returns the dataset's simulation sweep engine: precomputed
+// oracle tables plus pooled per-run simulation state, shared by every
+// /simulate request for the dataset.
+func (a *artifacts) sweep(dataset string) (*dtnsim.Sweep, *trace.Trace, error) {
 	tr, err := a.reg.Trace(dataset)
 	if err != nil {
 		return nil, nil, err
 	}
-	o, err := a.oracles.get(dataset, func() (*dtnsim.Oracle, error) {
-		return dtnsim.NewOracle(tr), nil
+	sw, err := a.sweeps.get(dataset, func() (*dtnsim.Sweep, error) {
+		return dtnsim.NewSweep(tr)
 	})
-	return o, tr, err
+	return sw, tr, err
 }
 
 // harness returns the figure harness for a parameter set. The harness

@@ -371,20 +371,18 @@ func (s *Server) Simulate(req SimulateRequest) (*SimulateResponse, error) {
 	if req.Rate < 0 || req.GenFraction < 0 || req.GenFraction > 1 || req.Runs < 0 {
 		return nil, badRequest("negative rate/runs or genFraction outside [0,1]")
 	}
-	oracle, tr, err := s.art.oracle(req.Dataset)
+	sweep, tr, err := s.art.sweep(req.Dataset)
 	if err != nil {
 		return nil, err
 	}
 	runs := make([]*dtnsim.Result, req.Runs)
 	for i := range runs {
 		msgs := dtnsim.Workload(tr, req.Rate, tr.Horizon*req.GenFraction, engine.DeriveSeed(req.Seed, i))
-		res, err := dtnsim.Run(dtnsim.Config{
-			Trace:     tr,
+		res, err := sweep.Run(dtnsim.Config{
 			Algorithm: alg,
 			Messages:  msgs,
 			CopyMode:  mode,
 			Workers:   req.Workers,
-			Oracle:    oracle,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("simulate %s/%s: %w", req.Dataset, alg.Name(), err)

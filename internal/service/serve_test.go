@@ -11,8 +11,12 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/dtnsim"
+	"repro/internal/engine"
 	"repro/internal/figures"
+	"repro/internal/forward"
 	"repro/internal/pathenum"
+	"repro/internal/tracegen"
 )
 
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
@@ -204,6 +208,63 @@ func directSimulate(t *testing.T, reg *Registry, req SimulateRequest) *SimulateR
 		t.Fatal(err)
 	}
 	return resp
+}
+
+// TestServedSimulateMatchesRawRuns recomputes a served /simulate
+// response from first principles — plain dtnsim.Run calls (fresh
+// oracle, serial, no sweep engine, no service artifacts) merged in run
+// order — and compares the delivery statistics field by field. dtnsim's
+// own golden-reference suite pins Run against the vendored pre-sweep
+// simulator, so this closes the chain: served /simulate ≡ sweep engine
+// ≡ raw Run ≡ the pre-refactor implementation.
+func TestServedSimulateMatchesRawRuns(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	const runs = 3
+	req := SimulateRequest{Dataset: "dev", Algorithm: "Greedy", CopyMode: "relay", Rate: 0.1, Runs: runs, Seed: 5}
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, served := post(t, ts.URL+"/simulate", string(body))
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, served)
+	}
+	var got SimulateResponse
+	if err := json.Unmarshal(served, &got); err != nil {
+		t.Fatal(err)
+	}
+
+	tr := tracegen.Dev(1)
+	all := make([]*dtnsim.Result, runs)
+	for i := range all {
+		msgs := dtnsim.Workload(tr, req.Rate, tr.Horizon*2/3, engine.DeriveSeed(req.Seed, i))
+		all[i], err = dtnsim.Run(dtnsim.Config{
+			Trace: tr, Algorithm: forward.Greedy{}, Messages: msgs, CopyMode: dtnsim.Relay, Workers: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	merged := dtnsim.Merge(all...)
+	if got.Messages != len(merged.Outcomes) || got.Transmissions != merged.Transmissions {
+		t.Errorf("served messages/transmissions = %d/%d, raw %d/%d",
+			got.Messages, got.Transmissions, len(merged.Outcomes), merged.Transmissions)
+	}
+	if got.SuccessRate == nil || *got.SuccessRate != merged.SuccessRate() {
+		t.Errorf("served success rate %v, raw %v", got.SuccessRate, merged.SuccessRate())
+	}
+	delivered := 0
+	for _, o := range merged.Outcomes {
+		if o.Delivered {
+			delivered++
+		}
+	}
+	if got.Delivered != delivered {
+		t.Errorf("served delivered = %d, raw %d", got.Delivered, delivered)
+	}
+	if delivered > 0 && (got.MeanDelay == nil || *got.MeanDelay != merged.MeanDelay()) {
+		t.Errorf("served mean delay %v, raw %v", got.MeanDelay, merged.MeanDelay())
+	}
 }
 
 // TestServedSimulateWorkerEquivalence: the same request served by a
