@@ -113,6 +113,13 @@ func BenchmarkSpaceTimeGraphBuild(b *testing.B)        { benchsuite.SpaceTimeGra
 func BenchmarkEnumerateDevTrace(b *testing.B)          { benchsuite.EnumerateDevTrace(b) }
 func BenchmarkEnumerateConferenceMessage(b *testing.B) { benchsuite.EnumerateConferenceMessage(b) }
 
+// City-scale counterparts (≥2,000 nodes, ≥1M contacts): the cold
+// graph build, one wide-population enumeration, and a warm sweep
+// replay of the full contact stream.
+func BenchmarkSpaceTimeGraphBuildLarge(b *testing.B) { benchsuite.SpaceTimeGraphBuildLarge(b) }
+func BenchmarkEnumerateCityMessage(b *testing.B)     { benchsuite.EnumerateCityMessage(b) }
+func BenchmarkSimulateCitySweep(b *testing.B)        { benchsuite.SimulateCitySweep(b) }
+
 // BenchmarkEnumerateNarrowTable is the ablation AB2 configuration
 // (TableWidth ≪ K): tables saturate early, so nearly all work runs
 // through the per-step threshold index rather than path extension.

@@ -1,0 +1,109 @@
+package psn_test
+
+// End-to-end coverage of the city-scale dataset family: the registry
+// entry psn-sim and psn-serve share must generate a ≥2,000-node,
+// ≥1M-contact trace, build its space-time graph, enumerate paths, and
+// simulate forwarding — through the same library surfaces the two
+// binaries drive (the registry + sweep engine behind psn-sim, the
+// HTTP handlers behind psn-serve). The suite is minutes-scale work on
+// one core, so it is skipped under -short; the full tier-1 run pays
+// it once.
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	psn "repro"
+	"repro/internal/service"
+)
+
+func TestCityScaleEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("city-scale end-to-end test skipped in -short")
+	}
+	reg := psn.NewRegistry()
+	tr, err := reg.Trace("city-2k")
+	if err != nil {
+		t.Fatalf("registry city-2k: %v", err)
+	}
+	if tr.NumNodes < 2000 {
+		t.Fatalf("city-2k has %d nodes, want >= 2000", tr.NumNodes)
+	}
+	if tr.Len() < 1_000_000 {
+		t.Fatalf("city-2k has %d contacts, want >= 1,000,000", tr.Len())
+	}
+
+	// psn-sim path: sweep engine, epidemic run on a modest workload.
+	sweep, err := psn.NewSimSweep(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgs := psn.SimWorkload(tr, 0.02, tr.Horizon/3, 1)
+	if len(msgs) == 0 {
+		t.Fatal("empty workload")
+	}
+	res, err := sweep.Run(psn.SimConfig{Algorithm: psn.PaperAlgorithms()[0], Messages: msgs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SuccessRate() <= 0 {
+		t.Errorf("epidemic delivered nothing at city scale (success %.3f)", res.SuccessRate())
+	}
+
+	// Direct enumeration over the shared graph (psn-paths path).
+	enum, err := psn.NewEnumerator(tr, psn.EnumOptions{K: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := enum.Enumerate(psn.PathMessage{Src: 150, Dst: 1800, Start: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// psn-serve path: the same registry served over HTTP; the
+	// /enumerate response must decode to the direct result's arrival
+	// count, and /simulate must answer for the city dataset.
+	srv := psn.NewServer(psn.ServeConfig{Registry: reg})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/enumerate", "application/json",
+		strings.NewReader(`{"dataset":"city-2k","src":150,"dst":1800,"start":600,"k":50}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/enumerate status %d", resp.StatusCode)
+	}
+	var er service.EnumerateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		t.Fatal(err)
+	}
+	if len(er.Results) != 1 {
+		t.Fatalf("served %d results, want 1", len(er.Results))
+	}
+	if got, want := len(er.Results[0].Arrivals), len(direct.Arrivals); got != want {
+		t.Errorf("served %d arrivals, direct call found %d", got, want)
+	}
+
+	resp, err = http.Post(ts.URL+"/simulate", "application/json",
+		strings.NewReader(`{"dataset":"city-2k","algorithm":"epidemic","rate":0.02,"runs":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/simulate status %d", resp.StatusCode)
+	}
+	var sr service.SimulateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Messages == 0 {
+		t.Error("served simulation ran no messages")
+	}
+}

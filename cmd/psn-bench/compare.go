@@ -22,6 +22,26 @@ type delta struct {
 	AllocsRatio float64
 }
 
+// bestRecord keeps the best (lowest) ns/op, B/op and allocs/op of two
+// attempts at one benchmark, taking Iterations from the faster run.
+// Each metric is minimized independently: external interference only
+// ever inflates a measurement, so the per-metric minimum over repeats
+// is the least-noisy estimate of the workload's true cost.
+func bestRecord(a, b record) record {
+	out := a
+	if b.NsPerOp < out.NsPerOp {
+		out.NsPerOp = b.NsPerOp
+		out.Iterations = b.Iterations
+	}
+	if b.BytesPerOp < out.BytesPerOp {
+		out.BytesPerOp = b.BytesPerOp
+	}
+	if b.AllocsPerOp < out.AllocsPerOp {
+		out.AllocsPerOp = b.AllocsPerOp
+	}
+	return out
+}
+
 // loadSnapshot reads a BENCH_*.json file.
 func loadSnapshot(path string) (snapshot, error) {
 	var s snapshot

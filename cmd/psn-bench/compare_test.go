@@ -12,6 +12,32 @@ func snap(recs ...record) snapshot {
 	return snapshot{Date: "2026-07-30", Benchmarks: recs}
 }
 
+func TestBestRecordKeepsPerMetricMinimum(t *testing.T) {
+	a := record{Name: "A", Iterations: 100, NsPerOp: 120, BytesPerOp: 900, AllocsPerOp: 7}
+	b := record{Name: "A", Iterations: 150, NsPerOp: 100, BytesPerOp: 1000, AllocsPerOp: 5}
+	got := bestRecord(a, b)
+	want := record{Name: "A", Iterations: 150, NsPerOp: 100, BytesPerOp: 900, AllocsPerOp: 5}
+	if got != want {
+		t.Errorf("bestRecord = %+v, want %+v", got, want)
+	}
+	// Order must not matter.
+	if swapped := bestRecord(b, a); swapped != want {
+		t.Errorf("bestRecord swapped = %+v, want %+v", swapped, want)
+	}
+	// Identical attempts are a fixed point.
+	if same := bestRecord(a, a); same != a {
+		t.Errorf("bestRecord(a, a) = %+v, want %+v", same, a)
+	}
+}
+
+func TestBestRecordIterationsFollowFastestRun(t *testing.T) {
+	fast := record{Name: "A", Iterations: 300, NsPerOp: 50, BytesPerOp: 10, AllocsPerOp: 1}
+	slow := record{Name: "A", Iterations: 80, NsPerOp: 90, BytesPerOp: 10, AllocsPerOp: 1}
+	if got := bestRecord(slow, fast); got.Iterations != 300 {
+		t.Errorf("Iterations = %d, want the fastest run's 300", got.Iterations)
+	}
+}
+
 func TestCompareSnapshotsMatchesByName(t *testing.T) {
 	base := snap(
 		record{Name: "A", NsPerOp: 100, AllocsPerOp: 10},

@@ -7,12 +7,19 @@
 //	psn-sim -dataset infocom-9-12 -runs 10
 //	psn-sim -trace trace.txt -rate 0.25 -bypair
 //	psn-sim -dataset conext-9-12 -extended -relay
+//	psn-sim -dataset city-2k -algo epidemic -runs 2 -rate 0.05
+//
+// -algo filters the algorithm set by case-insensitive substring —
+// essential on the city-scale datasets, where oracle-distance
+// algorithms (Dynamic Programming) would trigger an O(n³) metric
+// computation most runs don't need.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	psn "repro"
 	"repro/internal/dtnsim"
@@ -27,6 +34,7 @@ func main() {
 		runs     = flag.Int("runs", 10, "independent workload seeds to average")
 		seed     = flag.Int64("seed", 1, "base workload seed")
 		extended = flag.Bool("extended", false, "include Direct Delivery, Spray and Wait, PRoPHET")
+		algo     = flag.String("algo", "", "only run algorithms whose name contains this substring (case-insensitive)")
 		relay    = flag.Bool("relay", false, "use single-copy relay semantics instead of replication")
 		byPair   = flag.Bool("bypair", false, "split results by in/out pair type")
 		workers  = flag.Int("workers", 0, "worker goroutines per run (0 = GOMAXPROCS, 1 = serial; results are identical)")
@@ -41,6 +49,23 @@ func main() {
 	algos := psn.PaperAlgorithms()
 	if *extended {
 		algos = psn.AllAlgorithms()
+	}
+	if *algo != "" {
+		var kept []psn.Algorithm
+		for _, a := range algos {
+			if strings.Contains(strings.ToLower(a.Name()), strings.ToLower(*algo)) {
+				kept = append(kept, a)
+			}
+		}
+		if len(kept) == 0 {
+			names := make([]string, len(algos))
+			for i, a := range algos {
+				names[i] = a.Name()
+			}
+			fmt.Fprintf(os.Stderr, "psn-sim: -algo %q matches none of: %s\n", *algo, strings.Join(names, ", "))
+			os.Exit(2)
+		}
+		algos = kept
 	}
 	mode := psn.Replicate
 	if *relay {

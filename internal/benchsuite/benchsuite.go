@@ -11,6 +11,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/dtnsim"
@@ -32,12 +33,15 @@ type Spec struct {
 func Specs() []Spec {
 	return []Spec{
 		{"SpaceTimeGraphBuild", SpaceTimeGraphBuild},
+		{"SpaceTimeGraphBuildLarge", SpaceTimeGraphBuildLarge},
 		{"EnumerateDevTrace", EnumerateDevTrace},
 		{"EnumerateConferenceMessage", EnumerateConferenceMessage},
+		{"EnumerateCityMessage", EnumerateCityMessage},
 		{"EnumerateAllSerial", EnumerateAllWorkers(1)},
 		{"EnumerateAllParallel", EnumerateAllWorkers(0)},
 		{"SimulateEpidemic", SimulateEpidemic},
 		{"SimulateSweep", SimulateSweep},
+		{"SimulateCitySweep", SimulateCitySweep},
 		{"MEEDDistances", MEEDDistances},
 		{"ServeEnumerateWarm", ServeEnumerateWarm},
 	}
@@ -50,6 +54,81 @@ func SpaceTimeGraphBuild(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := stgraph.New(tr, stgraph.DefaultDelta); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// cityTrace memoizes the 2,000-node, ≥1M-contact city dataset across
+// the city-scale benchmarks (generation takes seconds and the trace
+// is immutable).
+var cityTrace = sync.OnceValue(func() *trace.Trace {
+	return tracegen.MustCity(2000, 1)
+})
+
+// citySweep memoizes the city simulation sweep engine (oracle tables
+// built once; the warm benchmark measures the marginal run).
+var citySweep = sync.OnceValue(func() *dtnsim.Sweep {
+	sw, err := dtnsim.NewSweep(cityTrace())
+	if err != nil {
+		panic(err)
+	}
+	return sw
+})
+
+// cityEnumerator memoizes the city enumerator — and with it the
+// city-scale space-time graph — for the enumeration benchmark.
+var cityEnumerator = sync.OnceValue(func() *pathenum.Enumerator {
+	enum, err := pathenum.NewEnumerator(cityTrace(), pathenum.Options{K: 200})
+	if err != nil {
+		panic(err)
+	}
+	return enum
+})
+
+// SpaceTimeGraphBuildLarge indexes the city-scale dataset: ≥2,000
+// nodes, ≥1M contact records, 4,320 steps — the cold-start cost a
+// server pays per (city dataset, delta).
+func SpaceTimeGraphBuildLarge(b *testing.B) {
+	tr := cityTrace()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := stgraph.New(tr, stgraph.DefaultDelta); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// EnumerateCityMessage enumerates one message at city scale (wide
+// population mode: membership by chain walks instead of bitsets) over
+// the shared city graph.
+func EnumerateCityMessage(b *testing.B) {
+	enum := cityEnumerator()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := enum.Enumerate(pathenum.Message{Src: 150, Dst: 1800, Start: 600}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// SimulateCitySweep runs an epidemic workload over the city dataset
+// through a warm sweep: ≥1M contact events replayed per run, oracle
+// tables amortized.
+func SimulateCitySweep(b *testing.B) {
+	sw := citySweep()
+	tr := cityTrace()
+	msgs := dtnsim.Workload(tr, 0.02, tr.Horizon/3, 1)
+	cfg := dtnsim.Config{Algorithm: forward.Epidemic{}, Messages: msgs}
+	if _, err := sw.Run(cfg); err != nil { // warm the pooled state
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sw.Run(cfg); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -95,13 +95,22 @@ type Config struct {
 // sorted contact event stream. Run derives them on every call; callers
 // simulating one trace many times (parameter sweeps, a serving layer)
 // build the Oracle once — or better, a Sweep, which also pools the
-// mutable per-run state — and share it: it is immutable and safe for
-// concurrent use across simulations.
+// mutable per-run state — and share it: it is immutable once built and
+// safe for concurrent use across simulations.
+//
+// The MEED matrix is computed lazily, once, on the first MEEDDistance
+// read of any run (views install the oracle with a resolver): the
+// Floyd-Warshall closure is cubic in the population, which city-scale
+// traces cannot afford to pay for algorithms — epidemic floods,
+// encounter gradients — that never look at it. Runs are byte-identical
+// either way; the table is a pure function of the trace.
 type Oracle struct {
 	tr     *trace.Trace
 	totals []int
-	meed   *forward.DistMatrix
 	events []event
+
+	meedOnce sync.Once
+	meed     *forward.DistMatrix
 }
 
 // NewOracle precomputes the simulation tables for tr.
@@ -109,9 +118,15 @@ func NewOracle(tr *trace.Trace) *Oracle {
 	return &Oracle{
 		tr:     tr,
 		totals: tr.ContactCounts(),
-		meed:   forward.MEEDDistances(tr),
 		events: contactEventList(tr),
 	}
+}
+
+// MEED returns the oracle's expected-delay distance matrix, computing
+// it on first use. Safe for concurrent callers.
+func (o *Oracle) MEED() *forward.DistMatrix {
+	o.meedOnce.Do(func() { o.meed = forward.MEEDDistances(o.tr) })
+	return o.meed
 }
 
 // Trace returns the trace the oracle was built from.
@@ -137,9 +152,6 @@ type Result struct {
 	Transmissions int
 }
 
-// maxSimNodes bounds the population (holder sets are two-word bitsets).
-const maxSimNodes = 128
-
 // Run simulates cfg and returns per-message outcomes. Every call
 // derives (or accepts via cfg.Oracle) the read-only trace tables; use
 // a Sweep to amortize them — and the pooled per-worker state — across
@@ -151,9 +163,6 @@ func Run(cfg Config) (*Result, error) {
 	}
 	if cfg.Algorithm == nil {
 		return nil, fmt.Errorf("dtnsim: nil algorithm")
-	}
-	if tr.NumNodes > maxSimNodes {
-		return nil, fmt.Errorf("dtnsim: trace has %d nodes, max %d", tr.NumNodes, maxSimNodes)
 	}
 	oracle := cfg.Oracle
 	if oracle == nil {
@@ -184,9 +193,6 @@ type Sweep struct {
 func NewSweep(tr *trace.Trace) (*Sweep, error) {
 	if tr == nil {
 		return nil, fmt.Errorf("dtnsim: nil trace")
-	}
-	if tr.NumNodes > maxSimNodes {
-		return nil, fmt.Errorf("dtnsim: trace has %d nodes, max %d", tr.NumNodes, maxSimNodes)
 	}
 	return &Sweep{
 		tr:      tr,
@@ -405,11 +411,11 @@ func eventBefore(a, b event) bool {
 	return a.seq < b.seq
 }
 
-type holderSet [2]uint64
-
-func (h holderSet) has(n trace.NodeID) bool { return h[n>>6]&(1<<(uint(n)&63)) != 0 }
-func (h *holderSet) add(n trace.NodeID)     { h[n>>6] |= 1 << (uint(n) & 63) }
-func (h *holderSet) remove(n trace.NodeID)  { h[n>>6] &^= 1 << (uint(n) & 63) }
+// Holder sets are rows of a dense strided slab, ceil(n/64) words per
+// message, so any population size works with the same word operations.
+func rowHas(row []uint64, n trace.NodeID) bool { return row[n>>6]&(1<<(uint(n)&63)) != 0 }
+func rowAdd(row []uint64, n trace.NodeID)      { row[n>>6] |= 1 << (uint(n) & 63) }
+func rowRemove(row []uint64, n trace.NodeID)   { row[n>>6] &^= 1 << (uint(n) & 63) }
 
 // msgState is one message's mutable state; its holder bitset lives in
 // the sim's dense holders slab, and its per-node hop and copy counters
@@ -464,23 +470,26 @@ func (l *liveSet) Each(fn func(id int)) {
 // the population or the message shard lives in buffers that reset
 // reslices and wipes instead of reallocating.
 type sim struct {
-	alg    forward.Algorithm
-	mode   CopyMode
-	view   *forward.View
-	obs    forward.ContactObserver
-	sprayL int  // 0 when the algorithm has no copy budget
-	floods bool // algorithm always consents (forward.Flooder)
-	fwdAll bool // floods and no copy budget: every forward check passes
-	n      int
+	alg      forward.Algorithm
+	mode     CopyMode
+	view     *forward.View
+	idleView *forward.View // parked view while a flooding run needs none
+	obs      forward.ContactObserver
+	sprayL   int  // 0 when the algorithm has no copy budget
+	floods   bool // algorithm always consents (forward.Flooder)
+	fwdAll   bool // floods and no copy budget: every forward check passes
+	n        int
 
 	open    [][]trace.NodeID // per-node open contacts (multiset)
 	msgs    []msgState       // shard-local message states
-	holders []holderSet      // per-message holder bitsets (dense, id-indexed)
+	holders []uint64         // per-message holder bitsets (strided, wpn words each)
+	wpn     int              // words per holder row: ceil(n/64)
 	heldBy  []uint64         // per-node message bitsets: node x holds id ⟺ row(x) bit id
 	wpm     int              // words per heldBy row: ceil(len(msgs)/64)
 	live    liveSet          // created, undelivered messages
-	hops    []int8           // shard×n slab; row i is message i's per-node hop counts
+	hops    []int16          // shard×n slab; row i is message i's per-node hop counts
 	copies  []int16          // shard×n slab (copy budgets); empty unless sprayL > 0
+	seen    []uint64         // spread anti-revisit scratch (wpn words)
 	queue   []trace.NodeID   // spread BFS queue (head-indexed, reused)
 	creates []event          // this shard's creation events
 
@@ -502,13 +511,6 @@ func (s *sim) reset(alg forward.Algorithm, mode CopyMode, oracle *Oracle, messag
 	s.base, s.stride = base, stride
 	s.sent = 0
 
-	if s.view == nil || s.view.NumNodes() != n {
-		s.view = forward.NewView(n)
-	} else {
-		s.view.Reset()
-	}
-	s.view.InstallOracle(oracle.totals, oracle.meed)
-
 	s.obs = nil
 	if st, ok := alg.(forward.Stateful); ok {
 		st.Reset(n)
@@ -526,6 +528,29 @@ func (s *sim) reset(alg forward.Algorithm, mode CopyMode, oracle *Oracle, messag
 	}
 	s.fwdAll = s.floods && s.sprayL == 0
 
+	// The contact view exists for forwarding decisions, and an
+	// unconditional flooder never makes one: shouldForward is only
+	// reached when !fwdAll, so such runs skip the view entirely —
+	// at city scale its history tables are O(n²) per worker, the
+	// dominant memory of an epidemic run that never reads them.
+	// (ContactObservers keep their own state via OnContact.)
+	if s.fwdAll {
+		if s.view != nil {
+			s.idleView = s.view // keep for a later non-flooding run
+			s.view = nil
+		}
+	} else {
+		if s.view == nil {
+			s.view, s.idleView = s.idleView, nil
+		}
+		if s.view == nil || s.view.NumNodes() != n {
+			s.view = forward.NewView(n)
+		} else {
+			s.view.Reset()
+		}
+		s.view.InstallOracleLazy(oracle.totals, oracle.MEED)
+	}
+
 	if len(s.open) != n {
 		s.open = make([][]trace.NodeID, n)
 	} else {
@@ -539,7 +564,9 @@ func (s *sim) reset(alg forward.Algorithm, mode CopyMode, oracle *Oracle, messag
 		count = (len(messages) - base + stride - 1) / stride
 	}
 	s.msgs = growSlice(s.msgs, count)
-	s.holders = growSlice(s.holders, count)
+	s.wpn = (n + 63) / 64
+	s.holders = growWiped(s.holders, count*s.wpn)
+	s.seen = growWiped(s.seen, s.wpn)
 	s.wpm = (count + 63) / 64
 	s.heldBy = growWiped(s.heldBy, n*s.wpm)
 	s.live.reset(count)
@@ -550,7 +577,6 @@ func (s *sim) reset(alg forward.Algorithm, mode CopyMode, oracle *Oracle, messag
 	for j := 0; j < count; j++ {
 		gi := base + j*stride
 		s.msgs[j] = msgState{msg: messages[gi], global: int32(gi)}
-		s.holders[j] = holderSet{}
 		s.outcomes[gi] = Outcome{Msg: messages[gi]}
 	}
 }
@@ -565,7 +591,7 @@ func growSlice[T any](buf []T, size int) []T {
 }
 
 // growWiped reslices buf to size, reusing capacity, and zeroes it.
-func growWiped[T int8 | int16 | uint64](buf []T, size int) []T {
+func growWiped[T int16 | uint64](buf []T, size int) []T {
 	if cap(buf) < size {
 		return make([]T, size) // fresh memory is already zero
 	}
@@ -579,8 +605,13 @@ func (s *sim) heldRow(x trace.NodeID) []uint64 {
 	return s.heldBy[int(x)*s.wpm : (int(x)+1)*s.wpm]
 }
 
+// holderRow returns message id's holder bitset words.
+func (s *sim) holderRow(id int) []uint64 {
+	return s.holders[id*s.wpn : (id+1)*s.wpn]
+}
+
 // hopsRow returns message id's per-node hop counters.
-func (s *sim) hopsRow(id int) []int8 { return s.hops[id*s.n : (id+1)*s.n] }
+func (s *sim) hopsRow(id int) []int16 { return s.hops[id*s.n : (id+1)*s.n] }
 
 // copiesRow returns message id's per-node copy budgets.
 func (s *sim) copiesRow(id int) []int16 { return s.copies[id*s.n : (id+1)*s.n] }
@@ -620,8 +651,11 @@ func (s *sim) contactStart(a, b trace.NodeID, now float64) {
 	// Overlapping records of the same pair are kept as a multiset: each
 	// record contributes one open entry and one end-time removal, so a
 	// longer overlapping record keeps the pair connected. Each record
-	// also counts as one observed contact, matching trace.ContactCounts.
-	s.view.Observe(a, b, now)
+	// also counts as one observed contact, matching trace.ContactCounts
+	// (pure flooding runs carry no view: nothing reads it).
+	if s.view != nil {
+		s.view.Observe(a, b, now)
+	}
 	if s.obs != nil {
 		s.obs.OnContact(a, b, now)
 	}
@@ -644,7 +678,7 @@ func (s *sim) contactStart(a, b trace.NodeID, now float64) {
 			if replicate {
 				// Holder sets only grow, so only the holding side's
 				// direction can act.
-				if s.holders[id].has(a) {
+				if rowHas(s.holderRow(id), a) {
 					s.exchange(id, a, b, now)
 				} else {
 					s.exchange(id, b, a, now)
@@ -685,21 +719,21 @@ func (s *sim) createMessage(id int, now float64) {
 	// The source may already be inside a live contact component;
 	// spread (or deliver, which removes the message from the live set)
 	// immediately.
-	var seen holderSet
-	seen.add(m.msg.Src)
-	s.spread(id, m.msg.Src, now, seen)
+	clear(s.seen)
+	rowAdd(s.seen, m.msg.Src)
+	s.spread(id, m.msg.Src, now)
 }
 
 // setHolder marks node x a holder of message id in both directions of
 // the index (message→nodes bitset and node→messages bitset).
 func (s *sim) setHolder(id int, x trace.NodeID) {
-	s.holders[id].add(x)
+	rowAdd(s.holderRow(id), x)
 	s.heldRow(x)[id>>6] |= 1 << (uint(id) & 63)
 }
 
 // clearHolder removes node x from message id's holders (relay mode).
 func (s *sim) clearHolder(id int, x trace.NodeID) {
-	s.holders[id].remove(x)
+	rowRemove(s.holderRow(id), x)
 	s.heldRow(x)[id>>6] &^= 1 << (uint(id) & 63)
 }
 
@@ -707,8 +741,8 @@ func (s *sim) clearHolder(id int, x trace.NodeID) {
 // contact event, then lets the message spread onward from the peer.
 func (s *sim) exchange(id int, holder, peer trace.NodeID, now float64) {
 	m := &s.msgs[id]
-	h := &s.holders[id]
-	if m.delivered || !m.created || !h.has(holder) || h.has(peer) {
+	h := s.holderRow(id)
+	if m.delivered || !m.created || !rowHas(h, holder) || rowHas(h, peer) {
 		return
 	}
 	if peer == m.msg.Dst {
@@ -719,24 +753,25 @@ func (s *sim) exchange(id int, holder, peer trace.NodeID, now float64) {
 		return
 	}
 	s.transfer(id, holder, peer)
-	var seen holderSet
-	seen.add(holder)
-	seen.add(peer)
-	s.spread(id, peer, now, seen)
+	clear(s.seen)
+	rowAdd(s.seen, holder)
+	rowAdd(s.seen, peer)
+	s.spread(id, peer, now)
 }
 
 // spread propagates message id from node through the live contact
 // component (zero transmission time), respecting the forwarding rule
-// at each hop. seen holds the nodes that have already held the
-// message during this instantaneous propagation (including from):
-// re-transferring to them cannot reach anything new and, in relay
-// mode with an always-forward algorithm, would ping-pong the single
-// copy between two nodes forever. A node may still re-receive the
-// message at a later contact event. In replicate mode holders only
-// grow, so seen ⊆ holders and the guard changes nothing.
-func (s *sim) spread(id int, from trace.NodeID, now float64, seen holderSet) {
+// at each hop. The caller seeds s.seen with the nodes that have
+// already held the message during this instantaneous propagation
+// (including from): re-transferring to them cannot reach anything new
+// and, in relay mode with an always-forward algorithm, would
+// ping-pong the single copy between two nodes forever. A node may
+// still re-receive the message at a later contact event. In replicate
+// mode holders only grow, so seen ⊆ holders and the guard changes
+// nothing.
+func (s *sim) spread(id int, from trace.NodeID, now float64) {
 	m := &s.msgs[id]
-	h := &s.holders[id]
+	h := s.holderRow(id)
 	if m.delivered {
 		return
 	}
@@ -744,27 +779,27 @@ func (s *sim) spread(id int, from trace.NodeID, now float64, seen holderSet) {
 	q := append(s.queue[:0], from)
 	for head := 0; head < len(q) && !m.delivered; head++ {
 		cur := q[head]
-		if !h.has(cur) {
+		if !rowHas(h, cur) {
 			continue // copy moved on (relay mode)
 		}
 		for _, peer := range s.open[cur] {
 			if m.delivered {
 				break
 			}
-			if h.has(peer) {
+			if rowHas(h, peer) {
 				continue
 			}
 			if peer == dst {
 				s.deliver(id, cur, now)
 				break
 			}
-			if seen.has(peer) || !(s.fwdAll || s.shouldForward(id, cur, peer, now)) {
+			if rowHas(s.seen, peer) || !(s.fwdAll || s.shouldForward(id, cur, peer, now)) {
 				continue
 			}
 			s.transfer(id, cur, peer)
-			seen.add(peer)
+			rowAdd(s.seen, peer)
 			q = append(q, peer)
-			if !h.has(cur) {
+			if !rowHas(h, cur) {
 				// Relay mode: cur handed its single copy to peer and
 				// has nothing left to forward or deliver from —
 				// continuing the loop would duplicate the copy.

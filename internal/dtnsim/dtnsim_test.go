@@ -38,8 +38,8 @@ func TestRunValidation(t *testing.T) {
 		t.Errorf("nil algorithm accepted")
 	}
 	big, _ := trace.New("big", 200, 10, nil)
-	if _, err := Run(Config{Trace: big, Algorithm: forward.Epidemic{}}); err == nil {
-		t.Errorf("oversized trace accepted")
+	if _, err := Run(Config{Trace: big, Algorithm: forward.Epidemic{}}); err != nil {
+		t.Errorf("large population rejected: %v", err)
 	}
 	bad := []Message{
 		{Src: 0, Dst: 0, Start: 0},
@@ -409,5 +409,76 @@ func TestMergeSumsTransmissions(t *testing.T) {
 	b := &Result{Algorithm: "x", Transmissions: 4}
 	if got := Merge(a, b).Transmissions; got != 7 {
 		t.Errorf("merged transmissions = %d, want 7", got)
+	}
+}
+
+// Relay-mode hop chains can exceed 127 (the single copy keeps moving
+// for the whole trace); the per-node hop counters must not wrap the
+// way the pre-refactor int8 slab silently did. A long ping-pong chain
+// pins the exact count.
+func TestRelayHopCountsDoNotOverflow(t *testing.T) {
+	// Nodes 0 and 1 meet repeatedly; under relay both directions of a
+	// contact run, so each meeting hands the single copy over and
+	// straight back — two hops per meeting (the anti-revisit guard
+	// only applies within one instantaneous propagation). The copy
+	// ends at node 0 with 2·meetings hops, then meets the destination.
+	var cs []trace.Contact
+	tm := 0.0
+	const meetings = 400
+	for i := 0; i < meetings; i++ {
+		cs = append(cs, trace.Contact{A: 0, B: 1, Start: tm, End: tm + 1})
+		tm += 2
+	}
+	cs = append(cs, trace.Contact{A: 0, B: 2, Start: tm, End: tm + 1})
+	tr := mkTrace(t, 3, tm+10, cs)
+	res := run(t, Config{
+		Trace:     tr,
+		Algorithm: forward.Epidemic{},
+		CopyMode:  Relay,
+		Messages:  []Message{{Src: 0, Dst: 2, Start: 0}},
+	})
+	o := res.Outcomes[0]
+	if !o.Delivered {
+		t.Fatal("message not delivered")
+	}
+	if o.Hops <= 127 {
+		t.Fatalf("test did not exercise >127 hops (got %d)", o.Hops)
+	}
+	if want := 2*meetings - 1; o.Hops != want {
+		t.Errorf("Hops = %d, want %d (int8 wraparound would corrupt this)", o.Hops, want)
+	}
+}
+
+// meedProbe is a user-defined algorithm (no marker interfaces) whose
+// decisions read oracle distances. The lazily installed oracle must
+// resolve the real MEED matrix on the first read — never hand such an
+// algorithm +Inf placeholders.
+type meedProbe struct{ finiteReads int }
+
+func (m *meedProbe) Name() string { return "meed-probe" }
+
+func (m *meedProbe) Forward(v *forward.View, holder, peer, dst trace.NodeID, _ float64) bool {
+	if !math.IsInf(v.MEEDDistance(holder, dst), 1) {
+		m.finiteReads++
+	}
+	return false
+}
+
+func TestLazyOracleServesUnmarkedDistanceReaders(t *testing.T) {
+	tr := mkTrace(t, 3, 100, []trace.Contact{
+		{A: 0, B: 1, Start: 10, End: 20},
+		{A: 1, B: 2, Start: 30, End: 40},
+	})
+	probe := &meedProbe{}
+	if _, err := Run(Config{
+		Trace:     tr,
+		Algorithm: probe,
+		Workers:   1,
+		Messages:  []Message{{Src: 0, Dst: 2, Start: 0}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if probe.finiteReads == 0 {
+		t.Error("algorithm reading MEEDDistance saw only +Inf: lazy oracle never resolved")
 	}
 }

@@ -135,10 +135,23 @@ func refEventBefore(a, b refEvent) bool {
 	return a.kind < b.kind
 }
 
+// refHolderSet is the reference simulator's own two-word holder
+// bitset (the pre-refactor representation; reference traces stay
+// under 128 nodes).
+type refHolderSet [2]uint64
+
+func (h refHolderSet) has(n trace.NodeID) bool { return h[n>>6]&(1<<(uint(n)&63)) != 0 }
+func (h *refHolderSet) add(n trace.NodeID)     { h[n>>6] |= 1 << (uint(n) & 63) }
+func (h *refHolderSet) remove(n trace.NodeID)  { h[n>>6] &^= 1 << (uint(n) & 63) }
+
 type refMsgState struct {
-	msg       Message
-	holders   holderSet
-	hops      []int8
+	msg     Message
+	holders refHolderSet
+	// hops is int16 (not the pre-refactor int8): relay-mode hop
+	// chains exceed 127, and the original counter silently wrapped.
+	// The live simulator fixed the overflow, so the reference carries
+	// the same fix — everything else is the pre-refactor algorithm.
+	hops      []int16
 	copies    []int16
 	delivered bool
 	created   bool
@@ -222,7 +235,7 @@ func refRun(tr *trace.Trace, alg forward.Algorithm, msgs []Message, mode CopyMod
 	s.outcomes = make([]Outcome, len(msgs))
 	for i, m := range msgs {
 		s.msgs[i].msg = m
-		s.msgs[i].hops = make([]int8, n)
+		s.msgs[i].hops = make([]int16, n)
 		if s.sprayL > 0 {
 			s.msgs[i].copies = make([]int16, n)
 		}
@@ -292,7 +305,7 @@ func (s *refSim) refCreateMessage(id int, now float64) {
 		m.copies[m.msg.Src] = int16(s.sprayL)
 	}
 	s.live[id] = true
-	var seen holderSet
+	var seen refHolderSet
 	seen.add(m.msg.Src)
 	s.refSpread(id, m.msg.Src, now, seen)
 }
@@ -310,13 +323,13 @@ func (s *refSim) refExchange(id int, holder, peer trace.NodeID, now float64) {
 		return
 	}
 	s.refTransfer(id, holder, peer)
-	var seen holderSet
+	var seen refHolderSet
 	seen.add(holder)
 	seen.add(peer)
 	s.refSpread(id, peer, now, seen)
 }
 
-func (s *refSim) refSpread(id int, from trace.NodeID, now float64, seen holderSet) {
+func (s *refSim) refSpread(id int, from trace.NodeID, now float64, seen refHolderSet) {
 	m := &s.msgs[id]
 	if m.delivered {
 		return

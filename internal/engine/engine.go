@@ -38,6 +38,17 @@ func Workers(n int) int {
 // (or one item) everything runs inline on the calling goroutine in
 // index order. Map returns when every item has completed.
 func Map(workers, n int, fn func(i int)) {
+	MapWorkers(workers, n, func(_, i int) { fn(i) })
+}
+
+// MapWorkers is Map with the worker slot exposed: fn(w, i) runs item i
+// on worker slot w, where w is a dense index in [0, resolved workers).
+// Each slot runs its items sequentially on one goroutine, so callers
+// can hand every slot a private mutable scratch (sized by Workers
+// beforehand) without locking or pooling. Which items land on which
+// slot is scheduling-dependent; determinism still requires fn's effect
+// on item i's output to be independent of w.
+func MapWorkers(workers, n int, fn func(worker, i int)) {
 	if n <= 0 {
 		return
 	}
@@ -47,7 +58,7 @@ func Map(workers, n int, fn func(i int)) {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(0, i)
 		}
 		return
 	}
@@ -55,16 +66,16 @@ func Map(workers, n int, fn func(i int)) {
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				fn(i)
+				fn(w, i)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 }

@@ -55,6 +55,53 @@ func TestMapEmpty(t *testing.T) {
 	}
 }
 
+func TestMapWorkersCoversEveryIndexWithDenseSlots(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		const n = 500
+		counts := make([]int32, n)
+		var usedSlots [64]atomic.Int32
+		MapWorkers(workers, n, func(w, i int) {
+			atomic.AddInt32(&counts[i], 1)
+			usedSlots[w].Add(1)
+		})
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+		resolved := workers
+		if resolved > n {
+			resolved = n
+		}
+		total := int32(0)
+		for w := range usedSlots {
+			c := usedSlots[w].Load()
+			if c > 0 && w >= resolved {
+				t.Fatalf("workers=%d: slot %d outside [0,%d)", workers, w, resolved)
+			}
+			total += c
+		}
+		if total != n {
+			t.Fatalf("workers=%d: slot totals %d != n", workers, total)
+		}
+	}
+}
+
+func TestMapWorkersSerialUsesSlotZeroInOrder(t *testing.T) {
+	var order []int
+	MapWorkers(1, 5, func(w, i int) {
+		if w != 0 {
+			t.Fatalf("serial slot = %d", w)
+		}
+		order = append(order, i)
+	})
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("serial order = %v", order)
+		}
+	}
+}
+
 func TestMapErrReturnsLowestIndexError(t *testing.T) {
 	for _, workers := range []int{1, 8} {
 		err := MapErr(workers, 100, func(i int) error {

@@ -80,7 +80,12 @@ type View struct {
 	totals []int
 	// meed holds the expected-delay distances under the MEED metric
 	// computed over the whole trace (oracle); +Inf if unreachable.
-	meed *DistMatrix
+	// When nil, meedFn (if installed) resolves the matrix on first
+	// read: the Floyd-Warshall closure is cubic in the population, so
+	// the simulator defers it until an algorithm actually compares
+	// oracle distances — most never do.
+	meed   *DistMatrix
+	meedFn func() *DistMatrix
 }
 
 // NewView allocates a View for n nodes with empty history and no
@@ -151,10 +156,15 @@ func (v *View) TotalContacts(a trace.NodeID) int {
 }
 
 // MEEDDistance returns the oracle expected-delay distance from a to b,
-// or +Inf when unreachable or before SetOracle.
+// or +Inf when unreachable or before SetOracle. With a lazily
+// installed oracle (InstallOracleLazy) the first call resolves the
+// distance matrix.
 func (v *View) MEEDDistance(a, b trace.NodeID) float64 {
 	if v.meed == nil {
-		return math.Inf(1)
+		if v.meedFn == nil {
+			return math.Inf(1)
+		}
+		v.meed = v.meedFn()
 	}
 	return v.meed.At(a, b)
 }
@@ -171,6 +181,19 @@ func (v *View) SetOracle(tr *trace.Trace) {
 func (v *View) InstallOracle(totals []int, meed *DistMatrix) {
 	v.totals = totals
 	v.meed = meed
+	v.meedFn = nil
+}
+
+// InstallOracleLazy installs the contact-total table eagerly and a
+// resolver for the MEED matrix, called at most once per view on the
+// first MEEDDistance read. The resolver must be safe for concurrent
+// callers (parallel shards each hold their own view but share the
+// underlying oracle; dtnsim guards the computation with a sync.Once),
+// and must always return the same immutable matrix.
+func (v *View) InstallOracleLazy(totals []int, meed func() *DistMatrix) {
+	v.totals = totals
+	v.meed = nil
+	v.meedFn = meed
 }
 
 // MEEDDistances computes the Minimum Estimated Expected Delay metric

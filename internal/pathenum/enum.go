@@ -90,8 +90,9 @@ func (o Options) validate() error {
 	return nil
 }
 
-// ErrTooManyNodes is returned when the trace population exceeds the
-// enumerator's fixed bitset capacity.
+// ErrTooManyNodes is kept for API compatibility; since populations
+// beyond the bitset capacity run in wide mode it is no longer
+// returned.
 var ErrTooManyNodes = errors.New("pathenum: trace exceeds 128 nodes")
 
 // Enumerator enumerates valid paths for messages over one trace. The
@@ -107,6 +108,13 @@ type Enumerator struct {
 	tr  *trace.Trace
 	g   *stgraph.Graph
 	opt Options
+
+	// wide marks populations beyond the nodeSet bitset capacity
+	// (city-scale traces): path membership — loop avoidance roots and
+	// first-preference pruning — is then resolved by walking arena
+	// parent chains against epoch-marked scratch instead of reading
+	// per-path bitsets. Both modes run the identical dynamic program.
+	wide bool
 
 	// Per-call scratch, pooled so sequential calls reuse their
 	// allocations and concurrent calls never share state.
@@ -126,17 +134,20 @@ type entry struct {
 // program touches per call lives here, so a warmed-up scratch makes
 // Enumerate allocate only its result.
 type scratch struct {
-	visited  []int // BFS epoch marks
-	epoch    int
-	mergeBuf []entry
-	table    [][]entry // per-node k-shortest tables (rows reused across calls)
-	cands    [][]entry // per-node candidate lists for the current step
-	thresh   []int     // per-node extension thresholds
-	caps     []int     // per-member table capacities (threshold scratch)
-	queue    []entry   // BFS ring buffer
-	sortBuf  []entry   // counting-sort output buffer
-	arrivals []int32   // arena handles of delivered paths, arrival order
-	arena    pathArena // slab allocator for this call's path tree
+	visited   []int // BFS epoch marks
+	epoch     int
+	mark      []int // wide-mode membership marks (root sets, delivered sets)
+	markEpoch int
+	hopCounts []int32 // counting-sort buckets, len NumNodes+1
+	mergeBuf  []entry
+	table     [][]entry // per-node k-shortest tables (rows reused across calls)
+	cands     [][]entry // per-node candidate lists for the current step
+	thresh    []int     // per-node extension thresholds
+	caps      []int     // per-member table capacities (threshold scratch)
+	queue     []entry   // BFS ring buffer
+	sortBuf   []entry   // counting-sort output buffer
+	arrivals  []int32   // arena handles of delivered paths, arrival order
+	arena     pathArena // slab allocator for this call's path tree
 }
 
 func (e *Enumerator) getScratch() *scratch {
@@ -145,10 +156,12 @@ func (e *Enumerator) getScratch() *scratch {
 	}
 	n := e.tr.NumNodes
 	return &scratch{
-		visited: make([]int, n),
-		table:   make([][]entry, n),
-		cands:   make([][]entry, n),
-		thresh:  make([]int, n),
+		visited:   make([]int, n),
+		mark:      make([]int, n),
+		hopCounts: make([]int32, n+1),
+		table:     make([][]entry, n),
+		cands:     make([][]entry, n),
+		thresh:    make([]int, n),
 	}
 }
 
@@ -171,14 +184,11 @@ func NewEnumerator(tr *trace.Trace, opt Options) (*Enumerator, error) {
 	if err != nil {
 		return nil, err
 	}
-	if tr.NumNodes > maxNodes {
-		return nil, ErrTooManyNodes
-	}
 	g, err := stgraph.New(tr, opt.Delta)
 	if err != nil {
 		return nil, err
 	}
-	return &Enumerator{tr: tr, g: g, opt: opt}, nil
+	return &Enumerator{tr: tr, g: g, opt: opt, wide: tr.NumNodes > maxNodes}, nil
 }
 
 // NewEnumeratorWithGraph prepares path enumeration over tr reusing a
@@ -204,10 +214,7 @@ func NewEnumeratorWithGraph(tr *trace.Trace, g *stgraph.Graph, opt Options) (*En
 	if err != nil {
 		return nil, err
 	}
-	if tr.NumNodes > maxNodes {
-		return nil, ErrTooManyNodes
-	}
-	return &Enumerator{tr: tr, g: g, opt: opt}, nil
+	return &Enumerator{tr: tr, g: g, opt: opt, wide: tr.NumNodes > maxNodes}, nil
 }
 
 // Graph exposes the underlying space-time graph.
@@ -319,12 +326,23 @@ func (e *Enumerator) run(sc *scratch, msg Message) *Result {
 		// is invalid (§4.1).
 		if dn := v.Neighbors(msg.Dst); len(dn) > 0 {
 			var delivered nodeSet
-			for _, d := range dn {
-				delivered = delivered.with(d)
+			if e.wide {
+				sc.markEpoch++
+				for _, d := range dn {
+					sc.mark[d] = sc.markEpoch
+				}
+			} else {
+				for _, d := range dn {
+					delivered = delivered.with(d)
+				}
 			}
 			alive := false
 			for i := 0; i < n; i++ {
-				table[i] = pruneContaining(&sc.arena, table[i], delivered)
+				if e.wide {
+					table[i] = pruneContainingWide(&sc.arena, table[i], sc.mark, sc.markEpoch)
+				} else {
+					table[i] = pruneContaining(&sc.arena, table[i], delivered)
+				}
 				alive = alive || len(table[i]) > 0
 			}
 			if !alive {
@@ -491,7 +509,21 @@ func (e *Enumerator) extendBFS(sc *scratch, v stgraph.View, dst trace.NodeID, p 
 	sc.epoch++
 	epoch := sc.epoch
 	a := &sc.arena
-	rootMembers := a.at(p.idx).members
+	wide := e.wide
+	var rootMembers nodeSet
+	var rootEpoch int
+	if wide {
+		// Materialize the root path's member set into epoch-marked
+		// scratch by one parent-chain walk; the per-neighbor check
+		// below is then O(1), exactly like the bitset path.
+		sc.markEpoch++
+		rootEpoch = sc.markEpoch
+		for cur := p.idx; cur >= 0; cur = a.at(cur).parent {
+			sc.mark[a.at(cur).node] = rootEpoch
+		}
+	} else {
+		rootMembers = a.at(p.idx).members
+	}
 	sc.visited[a.at(p.idx).node] = epoch
 	queue := append(sc.queue[:0], p)
 	delivered := false
@@ -508,7 +540,14 @@ func (e *Enumerator) extendBFS(sc *scratch, v stgraph.View, dst trace.NodeID, p 
 				}
 				continue
 			}
-			if sc.visited[nb] == epoch || rootMembers.has(nb) {
+			if sc.visited[nb] == epoch {
+				continue
+			}
+			if wide {
+				if sc.mark[nb] == rootEpoch {
+					continue
+				}
+			} else if rootMembers.has(nb) {
 				continue
 			}
 			sc.visited[nb] = epoch
@@ -561,7 +600,7 @@ func (e *Enumerator) mergeShortest(sc *scratch, existing, cands []entry) []entry
 // node this step), where insertion sort wins; wide-table steps can
 // queue thousands of candidates per node, which fall through to a
 // stable counting sort — hop counts are bounded by the path length,
-// which the loop-freedom invariant caps at maxNodes.
+// which the loop-freedom invariant caps at the population size.
 func (sc *scratch) sortByHops(paths []entry) {
 	if len(paths) <= 24 {
 		for i := 1; i < len(paths); i++ {
@@ -575,10 +614,15 @@ func (sc *scratch) sortByHops(paths []entry) {
 		}
 		return
 	}
-	var pos [maxNodes]int32
+	pos := sc.hopCounts // zeroed below after use; hops < len(pos)
+	maxHop := int32(0)
 	for _, p := range paths {
 		pos[p.hops]++
+		if p.hops > maxHop {
+			maxHop = p.hops
+		}
 	}
+	pos = pos[:maxHop+1] // bound bucket work by the actual hop range
 	sum := int32(0)
 	for h := range pos {
 		pos[h], sum = sum, sum+pos[h]
@@ -592,6 +636,7 @@ func (sc *scratch) sortByHops(paths []entry) {
 		pos[p.hops]++
 	}
 	copy(paths, buf)
+	clear(pos)
 }
 
 // pruneContaining removes paths intersecting the delivered node set,
@@ -600,6 +645,28 @@ func pruneContaining(a *pathArena, paths []entry, delivered nodeSet) []entry {
 	out := paths[:0]
 	for _, p := range paths {
 		if !a.at(p.idx).members.intersects(delivered) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// pruneContainingWide is pruneContaining for wide populations: the
+// delivered set lives in epoch-marked scratch and membership is
+// resolved by walking each path's parent chain.
+func pruneContainingWide(a *pathArena, paths []entry, mark []int, epoch int) []entry {
+	out := paths[:0]
+	for _, p := range paths {
+		keep := true
+		for cur := p.idx; cur >= 0; {
+			pn := a.at(cur)
+			if mark[pn.node] == epoch {
+				keep = false
+				break
+			}
+			cur = pn.parent
+		}
+		if keep {
 			out = append(out, p)
 		}
 	}

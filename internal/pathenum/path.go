@@ -18,21 +18,29 @@ import (
 	"repro/internal/trace"
 )
 
-// maxNodes bounds the population size the enumerator supports; node
-// membership along a path is tracked in a fixed two-word bitset so
-// loop avoidance and first-preference pruning are O(1). The paper's
-// traces have 98 nodes.
+// maxNodes bounds the population size the two-word membership bitset
+// covers; traces up to this size (the paper's have 98 nodes) track
+// path membership in nodeSet for O(1) loop avoidance and
+// first-preference pruning. Larger populations — the city-scale
+// datasets — run the same dynamic program in "wide" mode, where
+// membership queries walk the arena's parent chains against
+// epoch-marked scratch instead (see Enumerator.wide); their nodeSets
+// stay empty.
 const maxNodes = 128
 
-// nodeSet is a fixed-width bitset over node IDs < maxNodes.
+// nodeSet is a fixed-width bitset over node IDs < maxNodes. Nodes
+// outside that range are never recorded (wide mode keeps membership
+// elsewhere), so has reports false and with is a no-op for them.
 type nodeSet [2]uint64
 
 func (s nodeSet) has(n trace.NodeID) bool {
-	return s[n>>6]&(1<<(uint(n)&63)) != 0
+	return int(n) < maxNodes && s[n>>6]&(1<<(uint(n)&63)) != 0
 }
 
 func (s nodeSet) with(n trace.NodeID) nodeSet {
-	s[n>>6] |= 1 << (uint(n) & 63)
+	if int(n) < maxNodes {
+		s[n>>6] |= 1 << (uint(n) & 63)
+	}
 	return s
 }
 
@@ -60,7 +68,14 @@ type Path struct {
 func (p *Path) Parent() *Path { return p.parent }
 
 // Contains reports whether node n appears anywhere on the path.
-func (p *Path) Contains(n trace.NodeID) bool { return p.members.has(n) }
+func (p *Path) Contains(n trace.NodeID) bool {
+	for q := p; q != nil; q = q.parent {
+		if q.Node == n {
+			return true
+		}
+	}
+	return false
+}
 
 // Nodes returns the node sequence from source to final node.
 func (p *Path) Nodes() []trace.NodeID {
@@ -136,8 +151,8 @@ func newSource(n trace.NodeID, s int) *Path {
 // garbage collector neither scans nor write-barriers the enumeration's
 // path tree — the hot loop creates one pnode per table candidate and
 // BFS extension, millions per message on a conference trace. Node,
-// step and hop counts fit int32 comfortably (node IDs are bounded by
-// maxNodes, hops by the loop-freedom invariant).
+// step and hop counts fit int32 comfortably (hops are bounded by the
+// population size through the loop-freedom invariant).
 type pnode struct {
 	members nodeSet
 	parent  int32 // arena index of the prefix, -1 for the source tuple

@@ -36,7 +36,8 @@ import (
 const (
 	// KindSynthetic marks a generated dataset (deterministic seed).
 	KindSynthetic = "synthetic"
-	// KindFile marks a trace loaded from a file at registration time.
+	// KindFile marks a trace backed by a file: the path is checked at
+	// registration, the file parsed lazily on first use.
 	KindFile = "file"
 )
 
@@ -47,11 +48,14 @@ type DatasetInfo struct {
 }
 
 // Registry maps dataset names to immutable contact traces: the four
-// named synthetic datasets (plus the small "dev" trace), and any
-// traces registered from files or custom generators. Synthetic traces
-// are generated lazily on first use, exactly once, behind singleflight;
-// every caller then shares the same *trace.Trace. A Registry is safe
-// for concurrent use after registration is complete.
+// named conference datasets, the city-scale family, the small "dev"
+// trace, and any traces registered from files or custom generators.
+// Every dataset — synthetic and file-backed alike — is built lazily
+// on first use, exactly once, behind singleflight; every caller then
+// shares the same *trace.Trace. Lazy file loading matters for server
+// boot: a multi-gigabyte trace file registered with -trace must not
+// stall startup, and is only parsed when a request first names it. A
+// Registry is safe for concurrent use after registration is complete.
 type Registry struct {
 	mu      sync.Mutex
 	entries map[string]*regEntry
@@ -68,7 +72,10 @@ type regEntry struct {
 
 // NewRegistry returns a registry pre-populated with the four paper
 // datasets under their CLI names (infocom-9-12, infocom-3-6,
-// conext-9-12, conext-3-6) and the small deterministic "dev" trace.
+// conext-9-12, conext-3-6), the small deterministic "dev" trace, and
+// the city-scale family (city-2k, city-4k — thousands of nodes,
+// millions of contacts; generated on first use, which takes seconds
+// and hundreds of megabytes, so merely listing them is free).
 func NewRegistry() *Registry {
 	r := &Registry{entries: make(map[string]*regEntry)}
 	for _, d := range tracegen.Datasets {
@@ -80,6 +87,12 @@ func NewRegistry() *Registry {
 	r.mustRegister("dev", KindSynthetic, func() (*trace.Trace, error) {
 		return tracegen.Dev(1), nil
 	})
+	for _, nodes := range []int{2000, 4000} {
+		nodes := nodes
+		r.mustRegister(fmt.Sprintf("city-%dk", nodes/1000), KindSynthetic, func() (*trace.Trace, error) {
+			return tracegen.City(nodes, 1)
+		})
+	}
 	return r
 }
 
@@ -118,20 +131,32 @@ func (r *Registry) mustRegister(name, kind string, build func() (*trace.Trace, e
 	}
 }
 
-// RegisterFile loads a trace file (trace.Read format) and registers it
-// under name. The file is read eagerly, so a bad path or malformed
-// trace fails at startup rather than on first request.
+// RegisterFile registers a trace file (trace.Read format) under name.
+// The path is checked eagerly — a missing or unreadable file still
+// fails at startup — but the file is parsed lazily behind the
+// registry's singleflight on first use, so registering large traces
+// does not stall server boot. A parse failure surfaces (and is
+// memoized) on the first request naming the dataset.
 func (r *Registry) RegisterFile(name, path string) error {
-	f, err := os.Open(path)
+	info, err := os.Stat(path)
 	if err != nil {
 		return fmt.Errorf("service: dataset %q: %w", name, err)
 	}
-	defer f.Close()
-	tr, err := trace.Read(f)
-	if err != nil {
-		return fmt.Errorf("service: dataset %q: %w", name, err)
+	if !info.Mode().IsRegular() {
+		return fmt.Errorf("service: dataset %q: %s is not a regular file", name, path)
 	}
-	return r.Register(name, KindFile, func() (*trace.Trace, error) { return tr, nil })
+	return r.Register(name, KindFile, func() (*trace.Trace, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("service: dataset %q: %w", name, err)
+		}
+		defer f.Close()
+		tr, err := trace.Read(f)
+		if err != nil {
+			return nil, fmt.Errorf("service: dataset %q: %w", name, err)
+		}
+		return tr, nil
+	})
 }
 
 // Names returns the registered dataset names, sorted.

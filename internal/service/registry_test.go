@@ -14,7 +14,7 @@ import (
 
 func TestRegistryBuiltinNames(t *testing.T) {
 	reg := NewRegistry()
-	want := []string{"conext-3-6", "conext-9-12", "dev", "infocom-3-6", "infocom-9-12"}
+	want := []string{"city-2k", "city-4k", "conext-3-6", "conext-9-12", "dev", "infocom-3-6", "infocom-9-12"}
 	if got := reg.Names(); !reflect.DeepEqual(got, want) {
 		t.Errorf("Names = %v, want %v", got, want)
 	}
@@ -121,6 +121,67 @@ func TestRegistryRegisterFile(t *testing.T) {
 
 	if err := reg.RegisterFile("broken", filepath.Join(t.TempDir(), "missing.txt")); err == nil {
 		t.Error("RegisterFile with missing path succeeded")
+	}
+	if err := reg.RegisterFile("dir", t.TempDir()); err == nil {
+		t.Error("RegisterFile with a directory succeeded")
+	}
+}
+
+// File traces load lazily behind the singleflight: registration only
+// checks the path, parsing happens (once) on first use, and a parse
+// failure is memoized rather than re-read.
+func TestRegisterFileLoadsLazily(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.txt")
+	if err := os.WriteFile(path, []byte("trace t 5 100\nnot a contact line\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry()
+	// A malformed file must register fine (only the path is checked)…
+	if err := reg.RegisterFile("lazy", path); err != nil {
+		t.Fatalf("RegisterFile rejected a readable path eagerly: %v", err)
+	}
+	// …and fail on first use, even if the file is deleted in between
+	// (proving nothing was parsed at registration time).
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Trace("lazy"); err == nil {
+		t.Fatal("malformed trace loaded without error")
+	}
+	_, err1 := reg.Trace("lazy")
+	_, err2 := reg.Trace("lazy")
+	if err1 == nil || err1 != err2 {
+		t.Errorf("lazy load error not memoized: %v vs %v", err1, err2)
+	}
+
+	// A well-formed file loads on first use with the same contents.
+	good := filepath.Join(t.TempDir(), "good.txt")
+	orig := tracegen.Dev(3)
+	f, err := os.Create(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.Write(f, orig); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := reg.RegisterFile("good", good); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := reg.Trace("good")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != orig.Len() || tr.NumNodes != orig.NumNodes {
+		t.Errorf("lazily loaded trace %d/%d differs from written %d/%d",
+			tr.NumNodes, tr.Len(), orig.NumNodes, orig.Len())
+	}
+	again, err := reg.Trace("good")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr != again {
+		t.Error("second Trace call re-parsed the file")
 	}
 }
 

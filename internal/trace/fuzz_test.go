@@ -1,0 +1,99 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead fuzzes the text-format parser with two invariants:
+//
+//  1. Read never panics — any input either parses into a valid trace
+//     or returns an error.
+//  2. Read∘Write round-trips: a trace Read accepts serializes with
+//     Write into bytes that Read parses back to an identical trace
+//     (header and every contact), and re-serializing reproduces the
+//     bytes exactly (the format is canonical for sorted traces).
+//
+// The corpus seeds every malformed-input case from TestReadErrors plus
+// representative valid traces, so the fuzzer starts at the known edges
+// of the grammar.
+func FuzzRead(f *testing.F) {
+	for _, seed := range []string{
+		// Valid inputs.
+		"trace t 5 100\n0 1 0 1\n",
+		"trace dev 3 50.5\n# comment\n0 1 0 5\n\n1 2 6 10\n",
+		"trace t 2 100\n0 1 10.5 20.25\n0 1 30 30\n",
+		"trace big 128 1e6\n0 127 0 1e6\n",
+		// The malformed cases of TestReadErrors.
+		"",
+		"# nothing here\n\n# still nothing\n",
+		"0 1 0 1\n",
+		"trace\n",
+		"trace t 5\n",
+		"trace t 5 100 extra\n",
+		"trace t five 100\n",
+		"trace t -3 100\n",
+		"trace t 0 100\n",
+		"trace t 5 x\n",
+		"trace t 5 -100\n",
+		"trace t 5 100\ntrace t 5 100\n",
+		"trace t 5 100\n0 1 2\n",
+		"trace t 5 100\n0 1 2 3 4\n",
+		"trace t 5 100\nx 1 0 1\n",
+		"trace t 5 100\n0 x 0 1\n",
+		"trace t 5 100\n0 1 x 1\n",
+		"trace t 5 100\n0 1 0 x\n",
+		"trace t 5 100\n0 1 50 40\n",
+		"trace t 5 100\n0 1 -5 40\n",
+		"trace t 5 100\n0 1 50 150\n",
+		"trace t 5 100\n0 7 0 1\n",
+		"trace t 5 100\n-1 1 0 1\n",
+		"trace t 5 100\n2 2 0 1\n",
+		"trace t 5 100\n0 1 0 5\n2 3 6",
+		// Numeric edges the table tests do not cover.
+		"trace t 5 NaN\n",
+		"trace t 5 +Inf\n",
+		"trace t 5 100\n0 1 NaN 50\n",
+		"trace t 5 100\n0 1 0 NaN\n",
+		"trace t 99999999999999999999 100\n",
+		"trace t 5 1e309\n",
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return // rejected cleanly; nothing more to check
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, tr); err != nil {
+			t.Fatalf("Write failed on a trace Read accepted: %v", err)
+		}
+		first := buf.String()
+		got, err := Read(strings.NewReader(first))
+		if err != nil {
+			t.Fatalf("Read rejected Write's own output: %v\n%s", err, first)
+		}
+		if got.Name != headerName(tr.Name) || got.NumNodes != tr.NumNodes || got.Horizon != tr.Horizon {
+			t.Fatalf("header changed over round trip: %q/%d/%v vs %q/%d/%v",
+				got.Name, got.NumNodes, got.Horizon, tr.Name, tr.NumNodes, tr.Horizon)
+		}
+		if got.Len() != tr.Len() {
+			t.Fatalf("contact count changed over round trip: %d vs %d", got.Len(), tr.Len())
+		}
+		for i := range got.Contacts() {
+			if got.Contacts()[i] != tr.Contacts()[i] {
+				t.Fatalf("contact %d changed over round trip: %+v vs %+v",
+					i, got.Contacts()[i], tr.Contacts()[i])
+			}
+		}
+		buf.Reset()
+		if err := Write(&buf, got); err != nil {
+			t.Fatal(err)
+		}
+		if buf.String() != first {
+			t.Fatalf("serialization not canonical:\n%s\nvs\n%s", buf.String(), first)
+		}
+	})
+}

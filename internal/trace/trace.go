@@ -13,6 +13,7 @@ package trace
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -69,14 +70,15 @@ var ErrInvalid = errors.New("invalid trace")
 // The contact slice is copied; the caller keeps ownership of its slice.
 //
 // Validation rules:
-//   - numNodes > 0 and horizon > 0
+//   - numNodes > 0 and horizon > 0 and finite
 //   - endpoints in range and distinct (no self-contacts)
-//   - 0 <= Start <= End <= horizon for every contact
+//   - 0 <= Start <= End <= horizon for every contact, all finite
+//     (a NaN time would make even the sort order undefined)
 func New(name string, numNodes int, horizon float64, contacts []Contact) (*Trace, error) {
 	if numNodes <= 0 {
 		return nil, fmt.Errorf("%w: numNodes %d", ErrInvalid, numNodes)
 	}
-	if horizon <= 0 {
+	if !(horizon > 0) || math.IsInf(horizon, 1) {
 		return nil, fmt.Errorf("%w: horizon %g", ErrInvalid, horizon)
 	}
 	cs := make([]Contact, len(contacts))
@@ -89,7 +91,7 @@ func New(name string, numNodes int, horizon float64, contacts []Contact) (*Trace
 		if c.A == c.B {
 			return nil, fmt.Errorf("%w: contact %d is a self-contact on node %d", ErrInvalid, i, c.A)
 		}
-		if c.Start < 0 || c.End < c.Start || c.End > horizon {
+		if !(c.Start >= 0) || !(c.End >= c.Start) || !(c.End <= horizon) {
 			return nil, fmt.Errorf("%w: contact %d times [%g,%g] outside [0,%g]",
 				ErrInvalid, i, c.Start, c.End, horizon)
 		}

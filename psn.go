@@ -126,6 +126,11 @@ type (
 	GeneratorConfig = tracegen.Config
 	// WaypointConfig parametrizes the random-waypoint baseline.
 	WaypointConfig = tracegen.WaypointConfig
+	// CityConfig parametrizes the city-scale generator (explicit rate
+	// classes over a long horizon).
+	CityConfig = tracegen.CityConfig
+	// CityClass is one rate class of a city population.
+	CityClass = tracegen.CityClass
 )
 
 // The four datasets mirroring the paper's measurement windows.
@@ -152,6 +157,15 @@ func GenerateHomogeneous(name string, numNodes int, horizon, lambda, meanDuratio
 // GenerateWaypoint builds a random-waypoint mobility trace.
 func GenerateWaypoint(cfg WaypointConfig) (*Trace, error) { return tracegen.RandomWaypoint(cfg) }
 
+// GenerateCity builds the named city-scale dataset: nodes devices
+// over 12 hours in three rate classes, ≥1M contact records at 2,000
+// nodes (the registry's city-2k / city-4k entries use seeds of 1).
+func GenerateCity(nodes int, seed int64) (*Trace, error) { return tracegen.City(nodes, seed) }
+
+// GenerateCityTrace runs the city generator with a custom
+// configuration (population, horizon, rate classes).
+func GenerateCityTrace(cfg CityConfig) (*Trace, error) { return tracegen.CityTrace(cfg) }
+
 // DevTrace is a small deterministic conference trace for examples and
 // experimentation (24 nodes, 30 minutes).
 func DevTrace(seed int64) *Trace { return tracegen.Dev(seed) }
@@ -159,6 +173,9 @@ func DevTrace(seed int64) *Trace { return tracegen.Dev(seed) }
 // Path enumeration.
 type (
 	// Enumerator enumerates valid forwarding paths for messages.
+	// Populations beyond 128 nodes (the city-scale datasets) run in
+	// wide mode — identical dynamic program, membership checks by
+	// parent-chain walks instead of per-path bitsets.
 	Enumerator = pathenum.Enumerator
 	// EnumOptions tunes enumeration (Δ, K, table width).
 	EnumOptions = pathenum.Options
@@ -174,6 +191,9 @@ type (
 	// immutable index: per-step CSR adjacency where consecutive steps
 	// with identical contact patterns share one frame carrying the
 	// step's connected components and intra-component hop distances.
+	// Built by an event sweep over the contact boundaries with
+	// slab-backed, parallel per-frame construction (see stgraph.New);
+	// results are byte-identical for every worker count.
 	SpaceTimeGraph = stgraph.Graph
 )
 
@@ -326,8 +346,9 @@ type (
 )
 
 // NewRegistry returns a registry pre-populated with the four paper
-// datasets (infocom-9-12, infocom-3-6, conext-9-12, conext-3-6) and
-// the small deterministic "dev" trace.
+// datasets (infocom-9-12, infocom-3-6, conext-9-12, conext-3-6), the
+// small deterministic "dev" trace, and the city-scale family
+// (city-2k, city-4k). Every entry is generated lazily on first use.
 func NewRegistry() *Registry { return service.NewRegistry() }
 
 // NewServer builds the experiment-serving HTTP server; mount its
