@@ -6,6 +6,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"strings"
 )
 
 // delta is one benchmark's baseline comparison. Ratios are
@@ -57,20 +58,32 @@ func loadSnapshot(path string) (snapshot, error) {
 
 // compareSnapshots matches benchmarks by name (in current-snapshot
 // order) and computes the per-benchmark deltas. Benchmarks present in
-// only one snapshot are skipped: a baseline from an older revision may
-// predate newly added benchmarks.
-func compareSnapshots(base, cur snapshot) []delta {
+// only one snapshot cannot be compared — a baseline from an older
+// revision may predate newly added benchmarks — but they are returned
+// in baseOnly/curOnly rather than silently dropped: a benchmark that
+// disappears from the suite can never fail -regress, so the caller
+// must at least be told it was skipped.
+func compareSnapshots(base, cur snapshot) (deltas []delta, baseOnly, curOnly []string) {
 	baseByName := make(map[string]record, len(base.Benchmarks))
 	for _, r := range base.Benchmarks {
 		baseByName[r.Name] = r
 	}
-	var out []delta
+	curNames := make(map[string]bool, len(cur.Benchmarks))
+	for _, r := range cur.Benchmarks {
+		curNames[r.Name] = true
+	}
+	for _, r := range base.Benchmarks {
+		if !curNames[r.Name] {
+			baseOnly = append(baseOnly, r.Name)
+		}
+	}
 	for _, r := range cur.Benchmarks {
 		b, ok := baseByName[r.Name]
 		if !ok {
+			curOnly = append(curOnly, r.Name)
 			continue
 		}
-		out = append(out, delta{
+		deltas = append(deltas, delta{
 			Name:        r.Name,
 			BaseNs:      b.NsPerOp,
 			CurNs:       r.NsPerOp,
@@ -80,7 +93,18 @@ func compareSnapshots(base, cur snapshot) []delta {
 			AllocsRatio: ratio(float64(r.AllocsPerOp), float64(b.AllocsPerOp)),
 		})
 	}
-	return out
+	return deltas, baseOnly, curOnly
+}
+
+// printSkipped reports benchmarks that could not be compared, one line
+// per side, to w (stderr in the CLI — it must not pollute the table).
+func printSkipped(w io.Writer, baseOnly, curOnly []string) {
+	if len(baseOnly) > 0 {
+		fmt.Fprintf(w, "skipped (baseline only, not in current run): %s\n", strings.Join(baseOnly, ", "))
+	}
+	if len(curOnly) > 0 {
+		fmt.Fprintf(w, "skipped (no baseline entry): %s\n", strings.Join(curOnly, ", "))
+	}
 }
 
 func ratio(cur, base float64) float64 {

@@ -47,7 +47,7 @@ func TestCompareSnapshotsMatchesByName(t *testing.T) {
 		record{Name: "A", NsPerOp: 50, AllocsPerOp: 20},
 		record{Name: "New", NsPerOp: 7, AllocsPerOp: 7},
 	)
-	deltas := compareSnapshots(base, cur)
+	deltas, baseOnly, curOnly := compareSnapshots(base, cur)
 	if len(deltas) != 1 {
 		t.Fatalf("deltas = %+v, want exactly the matched benchmark", deltas)
 	}
@@ -55,18 +55,38 @@ func TestCompareSnapshotsMatchesByName(t *testing.T) {
 	if d.Name != "A" || d.NsRatio != 0.5 || d.AllocsRatio != 2 {
 		t.Errorf("delta = %+v, want A with ns 0.5x, allocs 2x", d)
 	}
+	// Unmatched benchmarks are reported, not silently dropped: a
+	// benchmark that disappears from the suite can never fail -regress.
+	if len(baseOnly) != 1 || baseOnly[0] != "Removed" {
+		t.Errorf("baseOnly = %v, want [Removed]", baseOnly)
+	}
+	if len(curOnly) != 1 || curOnly[0] != "New" {
+		t.Errorf("curOnly = %v, want [New]", curOnly)
+	}
+
+	var b strings.Builder
+	printSkipped(&b, baseOnly, curOnly)
+	out := b.String()
+	if !strings.Contains(out, "Removed") || !strings.Contains(out, "New") {
+		t.Errorf("printSkipped output missing names:\n%s", out)
+	}
+	b.Reset()
+	printSkipped(&b, nil, nil)
+	if b.Len() != 0 {
+		t.Errorf("printSkipped with nothing skipped wrote %q", b.String())
+	}
 }
 
 func TestCompareSnapshotsZeroBaseline(t *testing.T) {
 	base := snap(record{Name: "A", NsPerOp: 100, AllocsPerOp: 0})
 	cur := snap(record{Name: "A", NsPerOp: 100, AllocsPerOp: 3})
-	d := compareSnapshots(base, cur)[0]
-	if !math.IsInf(d.AllocsRatio, 1) {
+	deltas, _, _ := compareSnapshots(base, cur)
+	if d := deltas[0]; !math.IsInf(d.AllocsRatio, 1) {
 		t.Errorf("allocs ratio vs zero baseline = %g, want +Inf", d.AllocsRatio)
 	}
 	cur.Benchmarks[0].AllocsPerOp = 0
-	d = compareSnapshots(base, cur)[0]
-	if d.AllocsRatio != 1 {
+	deltas, _, _ = compareSnapshots(base, cur)
+	if d := deltas[0]; d.AllocsRatio != 1 {
 		t.Errorf("0/0 allocs ratio = %g, want 1", d.AllocsRatio)
 	}
 }

@@ -155,8 +155,9 @@ func main() {
 	fmt.Println(path)
 
 	if *baseline != "" {
-		deltas := compareSnapshots(base, snap)
+		deltas, baseOnly, curOnly := compareSnapshots(base, snap)
 		printDeltas(os.Stdout, deltas)
+		printSkipped(os.Stderr, baseOnly, curOnly)
 		if bad := regressions(deltas, *regress); len(bad) > 0 {
 			for _, d := range bad {
 				fmt.Fprintf(os.Stderr, "psn-bench: regression: %s (ns/op %.2fx, allocs/op %.2fx exceeds 1+%.2f)\n",

@@ -44,6 +44,7 @@ func main() {
 		workers     = flag.Int("workers", 0, "engine worker goroutines per request (0 = GOMAXPROCS; results are identical)")
 		maxInflight = flag.Int("max-inflight", 0, "max experiment requests in flight (0 = 4x GOMAXPROCS, <0 = unlimited); excess requests get 503")
 		cacheSize   = flag.Int("cache-size", 0, "memoized-result LRU entries (0 = 256, <0 = disable)")
+		artifacts   = flag.String("artifacts", "", "artifact store directory (see psn-warm); warmed graphs and oracle tables load instead of building, with live build as fallback")
 		selfcheck   = flag.Bool("selfcheck", false, "start on an ephemeral port, verify /healthz and /enumerate against the library, and exit")
 	)
 	reg := psn.NewRegistry()
@@ -61,6 +62,7 @@ func main() {
 		Workers:     *workers,
 		MaxInflight: *maxInflight,
 		CacheSize:   *cacheSize,
+		ArtifactDir: *artifacts,
 	})
 
 	if *selfcheck {

@@ -1,0 +1,122 @@
+// Command psn-warm precomputes the expensive per-dataset artifacts —
+// built space-time graphs and simulator oracle tables — into an
+// on-disk artifact store, so a psn-serve replica started with
+// -artifacts pointing at the same directory serves its first request
+// from a millisecond load instead of a multi-second build.
+//
+// Usage:
+//
+//	psn-warm -dir cache                          # warm dev + the 4 conference datasets at delta 10
+//	psn-warm -dir cache -datasets city-2k        # warm the city graph (seconds to build, ms to load)
+//	psn-warm -dir cache -deltas 10,60,600        # several discretizations per dataset
+//	psn-warm -dir cache -trace office=office.txt -datasets office
+//
+// Artifacts are keyed by format version, build parameters, and a
+// digest of the source trace; a replica that resolves a dataset to
+// different data than the warm run saw falls back to a live build, so
+// a stale cache can cost time but never correctness.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	psn "repro"
+	"repro/internal/artstore"
+	"repro/internal/stgraph"
+)
+
+func main() {
+	var (
+		dir      = flag.String("dir", "", "artifact store directory (required)")
+		datasets = flag.String("datasets", "dev,infocom-9-12,infocom-3-6,conext-9-12,conext-3-6",
+			"comma-separated dataset names to warm")
+		deltas = flag.String("deltas", "10", "comma-separated graph discretization steps (seconds)")
+	)
+	reg := psn.NewRegistry()
+	flag.Func("trace", "register a file-backed dataset as name=path (repeatable)", func(v string) error {
+		name, path, ok := strings.Cut(v, "=")
+		if !ok || name == "" || path == "" {
+			return fmt.Errorf("want name=path, got %q", v)
+		}
+		return reg.RegisterFile(name, path)
+	})
+	flag.Parse()
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "psn-warm: -dir is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	var steps []float64
+	for _, s := range strings.Split(*deltas, ",") {
+		d, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil || !(d > 0) {
+			fmt.Fprintf(os.Stderr, "psn-warm: bad delta %q\n", s)
+			os.Exit(2)
+		}
+		steps = append(steps, d)
+	}
+
+	store := &artstore.Store{Dir: *dir}
+	for _, name := range strings.Split(*datasets, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if err := warm(store, reg, name, steps); err != nil {
+			fmt.Fprintln(os.Stderr, "psn-warm:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// warm builds and stores the oracle and one graph per delta for the
+// named dataset, reporting build time and artifact size for each.
+func warm(store *artstore.Store, reg *psn.Registry, name string, deltas []float64) error {
+	t0 := time.Now()
+	tr, err := reg.Trace(name)
+	if err != nil {
+		return err
+	}
+	digest := artstore.TraceDigest(tr)
+	fmt.Printf("%s: trace ready in %v (%d nodes, %d contacts)\n",
+		name, time.Since(t0).Round(time.Millisecond), tr.NumNodes, tr.Len())
+
+	t0 = time.Now()
+	path, err := store.SaveOracle(name, digest, psn.NewSimOracle(tr))
+	if err != nil {
+		return err
+	}
+	if err := report(name+" oracle", path, t0); err != nil {
+		return err
+	}
+	for _, delta := range deltas {
+		t0 = time.Now()
+		g, err := stgraph.New(tr, delta)
+		if err != nil {
+			return err
+		}
+		path, err := store.SaveGraph(name, digest, g)
+		if err != nil {
+			return err
+		}
+		if err := report(fmt.Sprintf("%s graph (delta %g)", name, delta), path, t0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func report(what, path string, t0 time.Time) error {
+	info, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %s (%.1f MB) in %v\n",
+		what, path, float64(info.Size())/(1<<20), time.Since(t0).Round(time.Millisecond))
+	return nil
+}

@@ -1,0 +1,37 @@
+package artstore
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+
+	"repro/internal/trace"
+)
+
+// TraceDigest fingerprints the artifact-relevant content of a trace:
+// population size, horizon, and every contact record (endpoints and
+// exact float64 bounds, in the trace's sorted order). Two traces with
+// equal digests produce byte-identical graphs and oracle tables, so a
+// stored artifact is keyed by the digest of the trace it was built
+// from and rejected when the serving process resolves the dataset name
+// to different data — a regenerated synthetic trace, an edited trace
+// file — than the warm run saw.
+func TraceDigest(tr *trace.Trace) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(x uint64) {
+		binary.LittleEndian.PutUint64(buf[:], x)
+		h.Write(buf[:])
+	}
+	put(uint64(tr.NumNodes))
+	put(math.Float64bits(tr.Horizon))
+	cs := tr.Contacts()
+	put(uint64(len(cs)))
+	for _, c := range cs {
+		put(uint64(c.A))
+		put(uint64(c.B))
+		put(math.Float64bits(c.Start))
+		put(math.Float64bits(c.End))
+	}
+	return h.Sum64()
+}

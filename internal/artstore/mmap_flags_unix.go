@@ -1,0 +1,9 @@
+//go:build unix && !linux
+
+package artstore
+
+import "syscall"
+
+// mapFlags on non-Linux Unix: plain private mapping (MAP_POPULATE is
+// Linux-specific; elsewhere the first read pass faults pages in).
+const mapFlags = syscall.MAP_PRIVATE

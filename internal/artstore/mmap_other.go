@@ -1,0 +1,14 @@
+//go:build !unix
+
+package artstore
+
+import "errors"
+
+// mmapSupported reports whether this platform can map artifact files.
+const mmapSupported = false
+
+// mapFile reports mmap as unsupported; Load falls back to a plain
+// read (or, under MmapAlways, a miss).
+func mapFile(path string) ([]byte, error) {
+	return nil, errors.New("artstore: mmap unsupported on this platform")
+}

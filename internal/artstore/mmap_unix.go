@@ -1,0 +1,35 @@
+//go:build unix
+
+package artstore
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mmapSupported reports whether this platform can map artifact files.
+const mmapSupported = true
+
+// mapFile maps path read-only. The mapping is intentionally never
+// unmapped: the loaded artifact's slabs alias it for the life of the
+// process, the same lifetime a built graph's slabs have.
+func mapFile(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close() // the mapping outlives the descriptor
+	info, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := info.Size()
+	if size == 0 {
+		return nil, fmt.Errorf("artstore: %s is empty", path)
+	}
+	if size != int64(int(size)) {
+		return nil, fmt.Errorf("artstore: %s too large to map", path)
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, mapFlags)
+}

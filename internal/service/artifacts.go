@@ -1,6 +1,9 @@
 package service
 
 import (
+	"sync/atomic"
+
+	"repro/internal/artstore"
 	"repro/internal/dtnsim"
 	"repro/internal/figures"
 	"repro/internal/pathenum"
@@ -24,6 +27,18 @@ import (
 // server runs out of memory.
 type artifacts struct {
 	reg *Registry
+
+	// store, when non-nil, is checked before building a graph or oracle:
+	// a warmed artifact loads in milliseconds where the build takes
+	// seconds. Every load failure — absence, version skew, digest
+	// mismatch, corruption — falls back to the live build, so a stale or
+	// damaged store can cost time but never correctness. The counters
+	// below record which path each artifact took (exposed on /metrics).
+	store        *artstore.Store
+	graphLoads   atomic.Int64
+	graphBuilds  atomic.Int64
+	oracleLoads  atomic.Int64
+	oracleBuilds atomic.Int64
 
 	graphs    *memoMap[graphKey, *stgraph.Graph]
 	enums     *memoMap[enumKey, *pathenum.Enumerator]
@@ -69,9 +84,10 @@ const (
 	maxCachedHarnesses = 8
 )
 
-func newArtifacts(reg *Registry) *artifacts {
+func newArtifacts(reg *Registry, store *artstore.Store) *artifacts {
 	return &artifacts{
 		reg:       reg,
+		store:     store,
 		graphs:    newMemoMap[graphKey, *stgraph.Graph](maxCachedGraphs),
 		enums:     newMemoMap[enumKey, *pathenum.Enumerator](maxCachedEnums),
 		sweeps:    newMemoMap[string, *dtnsim.Sweep](maxCachedSweeps),
@@ -90,6 +106,13 @@ func (a *artifacts) graph(dataset string, delta float64) (*stgraph.Graph, error)
 		if err != nil {
 			return nil, err
 		}
+		if a.store != nil {
+			if g, err := a.store.LoadGraph(dataset, delta, artstore.TraceDigest(tr)); err == nil {
+				a.graphLoads.Add(1)
+				return g, nil
+			}
+		}
+		a.graphBuilds.Add(1)
 		return stgraph.New(tr, delta)
 	})
 }
@@ -122,6 +145,13 @@ func (a *artifacts) sweep(dataset string) (*dtnsim.Sweep, *trace.Trace, error) {
 		return nil, nil, err
 	}
 	sw, err := a.sweeps.get(dataset, func() (*dtnsim.Sweep, error) {
+		if a.store != nil {
+			if o, err := a.store.LoadOracle(dataset, artstore.TraceDigest(tr), tr); err == nil {
+				a.oracleLoads.Add(1)
+				return dtnsim.NewSweepFromOracle(o)
+			}
+		}
+		a.oracleBuilds.Add(1)
 		return dtnsim.NewSweep(tr)
 	})
 	return sw, tr, err

@@ -31,7 +31,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.metrics.write(w, s.results)
+	s.metrics.write(w, s.results, s.art)
 }
 
 // --- GET /datasets ---

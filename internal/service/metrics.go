@@ -50,8 +50,8 @@ func (m *metrics) countStatus(code int) {
 }
 
 // write emits the Prometheus text exposition. cache supplies the
-// result-cache counters.
-func (m *metrics) write(w io.Writer, cache *lruCache) {
+// result-cache counters, art the artifact load/build counters.
+func (m *metrics) write(w io.Writer, cache *lruCache, art *artifacts) {
 	fmt.Fprintf(w, "# HELP psn_requests_total Requests received, by endpoint.\n")
 	fmt.Fprintf(w, "# TYPE psn_requests_total counter\n")
 	m.mu.Lock()
@@ -97,4 +97,14 @@ func (m *metrics) write(w io.Writer, cache *lruCache) {
 	fmt.Fprintf(w, "# HELP psn_result_cache_entries Result-cache resident entries.\n")
 	fmt.Fprintf(w, "# TYPE psn_result_cache_entries gauge\n")
 	fmt.Fprintf(w, "psn_result_cache_entries %d\n", entries)
+
+	fmt.Fprintf(w, "# HELP psn_artifact_loads_total Artifacts loaded from the on-disk store, by kind.\n")
+	fmt.Fprintf(w, "# TYPE psn_artifact_loads_total counter\n")
+	fmt.Fprintf(w, "psn_artifact_loads_total{kind=\"graph\"} %d\n", art.graphLoads.Load())
+	fmt.Fprintf(w, "psn_artifact_loads_total{kind=\"oracle\"} %d\n", art.oracleLoads.Load())
+
+	fmt.Fprintf(w, "# HELP psn_artifact_builds_total Artifacts built live (store miss or no store), by kind.\n")
+	fmt.Fprintf(w, "# TYPE psn_artifact_builds_total counter\n")
+	fmt.Fprintf(w, "psn_artifact_builds_total{kind=\"graph\"} %d\n", art.graphBuilds.Load())
+	fmt.Fprintf(w, "psn_artifact_builds_total{kind=\"oracle\"} %d\n", art.oracleBuilds.Load())
 }

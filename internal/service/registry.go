@@ -65,7 +65,16 @@ type regEntry struct {
 	kind  string
 	build func() (*trace.Trace, error)
 
-	once sync.Once
+	mu     sync.Mutex
+	tr     *trace.Trace // memoized successful build
+	err    error        // memoized permanent failure (synthetic builders)
+	flight *regFlight   // in-progress build, joined by concurrent callers
+}
+
+// regFlight is one in-progress build: concurrent callers wait on done
+// and share its result, so the build runs at most once at a time.
+type regFlight struct {
+	done chan struct{}
 	tr   *trace.Trace
 	err  error
 }
@@ -135,8 +144,10 @@ func (r *Registry) mustRegister(name, kind string, build func() (*trace.Trace, e
 // The path is checked eagerly — a missing or unreadable file still
 // fails at startup — but the file is parsed lazily behind the
 // registry's singleflight on first use, so registering large traces
-// does not stall server boot. A parse failure surfaces (and is
-// memoized) on the first request naming the dataset.
+// does not stall server boot. A parse or read failure surfaces on the
+// request naming the dataset and is retried on the next one (see
+// Trace), so a transient file error never permanently poisons the
+// dataset.
 func (r *Registry) RegisterFile(name, path string) error {
 	info, err := os.Stat(path)
 	if err != nil {
@@ -197,7 +208,12 @@ func (e *UnknownDatasetError) Error() string {
 
 // Trace returns the named dataset, building it on first use. Every
 // call for the same name returns the same immutable trace; concurrent
-// first calls block on a single build.
+// first calls block on a single build. Only successful builds are
+// memoized forever — plus failures of synthetic builders, which are
+// deterministic and cannot succeed on retry. A failed file-backed
+// build (a transient open or read error on a KindFile dataset) is NOT
+// memoized: the next request retries the file instead of the error
+// permanently poisoning the dataset until restart.
 func (r *Registry) Trace(name string) (*trace.Trace, error) {
 	r.mu.Lock()
 	e, ok := r.entries[name]
@@ -205,6 +221,35 @@ func (r *Registry) Trace(name string) (*trace.Trace, error) {
 	if !ok {
 		return nil, &UnknownDatasetError{Name: name, Available: r.Names()}
 	}
-	e.once.Do(func() { e.tr, e.err = e.build() })
-	return e.tr, e.err
+	return e.trace()
+}
+
+func (e *regEntry) trace() (*trace.Trace, error) {
+	e.mu.Lock()
+	if e.tr != nil || e.err != nil {
+		tr, err := e.tr, e.err
+		e.mu.Unlock()
+		return tr, err
+	}
+	if f := e.flight; f != nil {
+		e.mu.Unlock()
+		<-f.done
+		return f.tr, f.err
+	}
+	f := &regFlight{done: make(chan struct{})}
+	e.flight = f
+	e.mu.Unlock()
+
+	f.tr, f.err = e.build()
+
+	e.mu.Lock()
+	e.flight = nil
+	if f.err == nil {
+		e.tr = f.tr
+	} else if e.kind != KindFile {
+		e.err = f.err
+	}
+	e.mu.Unlock()
+	close(f.done)
+	return f.tr, f.err
 }

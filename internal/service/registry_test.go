@@ -1,6 +1,7 @@
 package service
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -128,10 +129,11 @@ func TestRegistryRegisterFile(t *testing.T) {
 }
 
 // File traces load lazily behind the singleflight: registration only
-// checks the path, parsing happens (once) on first use, and a parse
-// failure is memoized rather than re-read.
+// checks the path, parsing happens on first use, and a failed load is
+// retried on the next request rather than memoized — a transient file
+// error must not poison the dataset until restart.
 func TestRegisterFileLoadsLazily(t *testing.T) {
-	path := filepath.Join(t.TempDir(), "bad.txt")
+	path := filepath.Join(t.TempDir(), "flaky.txt")
 	if err := os.WriteFile(path, []byte("trace t 5 100\nnot a contact line\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
@@ -148,40 +150,84 @@ func TestRegisterFileLoadsLazily(t *testing.T) {
 	if _, err := reg.Trace("lazy"); err == nil {
 		t.Fatal("malformed trace loaded without error")
 	}
-	_, err1 := reg.Trace("lazy")
-	_, err2 := reg.Trace("lazy")
-	if err1 == nil || err1 != err2 {
-		t.Errorf("lazy load error not memoized: %v vs %v", err1, err2)
+	// The failure is not memoized: once the file reappears with valid
+	// contents, the same dataset loads.
+	orig7 := tracegen.Dev(7)
+	writeTraceFile(t, path, orig7)
+	tr, err := reg.Trace("lazy")
+	if err != nil {
+		t.Fatalf("file error was memoized; retry after repair failed: %v", err)
+	}
+	if tr.Len() != orig7.Len() || tr.NumNodes != orig7.NumNodes {
+		t.Errorf("retried load %d/%d differs from written %d/%d",
+			tr.NumNodes, tr.Len(), orig7.NumNodes, orig7.Len())
+	}
+	// The successful load IS memoized: deleting the file no longer
+	// matters.
+	if err := os.Remove(path); err != nil {
+		t.Fatal(err)
+	}
+	again, err := reg.Trace("lazy")
+	if err != nil || again != tr {
+		t.Errorf("successful load not memoized: %v, %p vs %p", err, again, tr)
 	}
 
 	// A well-formed file loads on first use with the same contents.
 	good := filepath.Join(t.TempDir(), "good.txt")
 	orig := tracegen.Dev(3)
-	f, err := os.Create(good)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := trace.Write(f, orig); err != nil {
-		t.Fatal(err)
-	}
-	f.Close()
+	writeTraceFile(t, good, orig)
 	if err := reg.RegisterFile("good", good); err != nil {
 		t.Fatal(err)
 	}
-	tr, err := reg.Trace("good")
+	tr2, err := reg.Trace("good")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if tr.Len() != orig.Len() || tr.NumNodes != orig.NumNodes {
+	if tr2.Len() != orig.Len() || tr2.NumNodes != orig.NumNodes {
 		t.Errorf("lazily loaded trace %d/%d differs from written %d/%d",
-			tr.NumNodes, tr.Len(), orig.NumNodes, orig.Len())
+			tr2.NumNodes, tr2.Len(), orig.NumNodes, orig.Len())
 	}
-	again, err := reg.Trace("good")
+	again2, err := reg.Trace("good")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if tr != again {
+	if tr2 != again2 {
 		t.Error("second Trace call re-parsed the file")
+	}
+}
+
+func writeTraceFile(t *testing.T, path string, tr *trace.Trace) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.Write(f, tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Synthetic builders are deterministic: their failures cannot succeed
+// on retry, so they ARE memoized — the build runs exactly once.
+func TestRegistrySyntheticErrorMemoized(t *testing.T) {
+	reg := NewRegistry()
+	calls := 0
+	if err := reg.Register("doomed", KindSynthetic, func() (*trace.Trace, error) {
+		calls++
+		return nil, fmt.Errorf("deterministic failure %d", calls)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	_, err1 := reg.Trace("doomed")
+	_, err2 := reg.Trace("doomed")
+	if err1 == nil || err1 != err2 {
+		t.Errorf("synthetic build error not memoized: %v vs %v", err1, err2)
+	}
+	if calls != 1 {
+		t.Errorf("synthetic builder ran %d times, want 1", calls)
 	}
 }
 

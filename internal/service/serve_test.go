@@ -16,6 +16,7 @@ import (
 	"repro/internal/figures"
 	"repro/internal/forward"
 	"repro/internal/pathenum"
+	"repro/internal/trace"
 	"repro/internal/tracegen"
 )
 
@@ -361,6 +362,9 @@ func TestServedErrors(t *testing.T) {
 	}{
 		{"unknown dataset", "POST", "/enumerate", `{"dataset":"nope","src":0,"dst":1}`, http.StatusNotFound, "available"},
 		{"bad body", "POST", "/enumerate", `{"dataset":`, http.StatusBadRequest, "bad request body"},
+		{"trailing value", "POST", "/enumerate", `{"dataset":"dev","src":0,"dst":1}{"junk":1}`, http.StatusBadRequest, "after JSON value"},
+		{"trailing garbage", "POST", "/enumerate", `{"dataset":"dev","src":0,"dst":1} trailing`, http.StatusBadRequest, "after JSON value"},
+		{"trailing on simulate", "POST", "/simulate", `{"dataset":"dev","algorithm":"Epidemic"}[]`, http.StatusBadRequest, "after JSON value"},
 		{"unknown field", "POST", "/enumerate", `{"dataset":"dev","src":0,"dst":1,"bogus":1}`, http.StatusBadRequest, "bogus"},
 		{"missing endpoints", "POST", "/enumerate", `{"dataset":"dev"}`, http.StatusBadRequest, "missing src/dst"},
 		{"src only", "POST", "/enumerate", `{"dataset":"dev","src":3}`, http.StatusBadRequest, "both"},
@@ -400,6 +404,22 @@ func TestServedErrors(t *testing.T) {
 	}
 }
 
+// countingWriter must stay transparent to http.ResponseController:
+// Unwrap routes the controller to the underlying writer's optional
+// interfaces, which embedding alone hides behind the wrapper's static
+// type. httptest.ResponseRecorder implements http.Flusher, so a Flush
+// through the wrapper must reach it rather than fail ErrNotSupported.
+func TestCountingWriterUnwrapFlush(t *testing.T) {
+	rec := httptest.NewRecorder()
+	cw := &countingWriter{ResponseWriter: rec}
+	if err := http.NewResponseController(cw).Flush(); err != nil {
+		t.Fatalf("Flush through countingWriter: %v", err)
+	}
+	if !rec.Flushed {
+		t.Error("flush did not reach the underlying ResponseRecorder")
+	}
+}
+
 // TestServedRequestLimits pins the request-size guards: bodies beyond
 // maxBodyBytes are rejected with 413 before being decoded, and batches
 // beyond maxBatchMessages with 400 before being enumerated.
@@ -432,6 +452,94 @@ func TestServedRequestLimits(t *testing.T) {
 	}
 	if !bytes.Contains(body, []byte("message limit")) {
 		t.Errorf("oversized batch error does not mention the limit: %s", body)
+	}
+}
+
+// TestServedBackpressure503 exercises the shed path end-to-end on a
+// saturated server: with one in-flight slot held by a request stuck in
+// a dataset build, the next experiment request is rejected immediately
+// with 503 and a Retry-After hint, the rejection is counted, the probe
+// endpoints still answer, and the stuck request completes normally once
+// the build unblocks.
+func TestServedBackpressure503(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	reg := NewRegistry()
+	if err := reg.Register("slow", KindSynthetic, func() (*trace.Trace, error) {
+		close(entered)
+		<-release
+		return tracegen.Dev(1), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{Registry: reg, MaxInflight: 1})
+
+	const body = `{"dataset":"slow","src":0,"dst":17,"start":0,"k":5}`
+	type result struct {
+		status int
+		body   []byte
+		err    error
+	}
+	first := make(chan result, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/enumerate", "application/json", strings.NewReader(body))
+		if err != nil {
+			first <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		first <- result{resp.StatusCode, b, err}
+	}()
+	// Only proceed once the single slot is provably held: the first
+	// request is inside the blocked dataset build.
+	<-entered
+
+	resp, err := http.Post(ts.URL+"/enumerate", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shedBody, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("shed request: status %d, want 503 (%s)", resp.StatusCode, shedBody)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("shed 503 is missing the Retry-After header")
+	}
+	if !bytes.Contains(shedBody, []byte("capacity")) {
+		t.Errorf("shed 503 body does not mention capacity: %s", shedBody)
+	}
+
+	// Probes bypass the semaphore and must answer while saturated.
+	if status, b := get(t, ts.URL+"/healthz"); status != http.StatusOK {
+		t.Errorf("/healthz while saturated: status %d (%s)", status, b)
+	}
+	status, metricsBody := get(t, ts.URL+"/metrics")
+	if status != http.StatusOK {
+		t.Fatalf("/metrics while saturated: status %d", status)
+	}
+	for _, want := range []string{
+		"psn_rejected_total 1",
+		"psn_inflight_requests 1",
+		`psn_responses_total{code="503"} 1`,
+	} {
+		if !strings.Contains(string(metricsBody), want) {
+			t.Errorf("/metrics missing %q:\n%s", want, metricsBody)
+		}
+	}
+
+	close(release)
+	r := <-first
+	if r.err != nil {
+		t.Fatalf("blocked request failed: %v", r.err)
+	}
+	if r.status != http.StatusOK {
+		t.Fatalf("blocked request: status %d after release, want 200 (%s)", r.status, r.body)
+	}
+	var out EnumerateResponse
+	if err := json.Unmarshal(r.body, &out); err != nil {
+		t.Fatalf("released response is not valid JSON: %v\n%s", err, r.body)
 	}
 }
 

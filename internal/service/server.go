@@ -4,8 +4,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"runtime"
+
+	"repro/internal/artstore"
 )
 
 // Config parametrizes a Server.
@@ -32,6 +35,13 @@ type Config struct {
 	// bytes keyed by canonical request). Zero means 256 entries;
 	// negative disables response caching.
 	CacheSize int
+
+	// ArtifactDir, when set, names an on-disk artifact store (see
+	// internal/artstore and cmd/psn-warm): per-dataset space-time graphs
+	// and oracle tables are loaded from it instead of built, with a live
+	// build as fallback on any miss or mismatch. Empty disables the
+	// store.
+	ArtifactDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -62,9 +72,13 @@ type Server struct {
 // New builds a Server from cfg.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	var store *artstore.Store
+	if cfg.ArtifactDir != "" {
+		store = &artstore.Store{Dir: cfg.ArtifactDir}
+	}
 	s := &Server{
 		cfg:     cfg,
-		art:     newArtifacts(cfg.Registry),
+		art:     newArtifacts(cfg.Registry, store),
 		results: newLRUCache(cfg.CacheSize),
 		metrics: newMetrics(),
 	}
@@ -142,6 +156,11 @@ func (cw *countingWriter) WriteHeader(code int) {
 	cw.ResponseWriter.WriteHeader(code)
 }
 
+// Unwrap exposes the underlying writer so http.ResponseController can
+// reach its optional interfaces (http.Flusher, io.ReaderFrom, …) —
+// embedding alone hides them behind the wrapper's static type.
+func (cw *countingWriter) Unwrap() http.ResponseWriter { return cw.ResponseWriter }
+
 func (cw *countingWriter) status() int {
 	if cw.code == 0 {
 		return http.StatusOK
@@ -195,6 +214,10 @@ func marshalResponse(v any) ([]byte, error) {
 const maxBodyBytes = 1 << 20
 
 // decodeBody strictly decodes a size-limited JSON request body into v.
+// The body must be exactly one JSON value: trailing data after it
+// (`{"dataset":"dev"}{"junk":1}`) is a client error, not silently
+// ignored — a cache key computed from v would otherwise not cover what
+// the client actually sent.
 func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
@@ -204,6 +227,9 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
 			return fmt.Errorf("request body exceeds %d bytes: %w", int64(maxBodyBytes), err)
 		}
 		return badRequest("bad request body: %v", err)
+	}
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return badRequest("bad request body: unexpected data after JSON value")
 	}
 	return nil
 }

@@ -1,0 +1,148 @@
+package service
+
+import (
+	"bytes"
+	"net/http"
+	"strings"
+	"testing"
+
+	"repro/internal/artstore"
+	"repro/internal/dtnsim"
+	"repro/internal/stgraph"
+)
+
+// warmStore precomputes the named dataset's graph (at delta) and
+// oracle into a fresh store directory, exactly as cmd/psn-warm does.
+func warmStore(t *testing.T, dataset string, delta float64) string {
+	t.Helper()
+	tr, err := NewRegistry().Trace(dataset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	digest := artstore.TraceDigest(tr)
+	st := &artstore.Store{Dir: t.TempDir()}
+	g, err := stgraph.New(tr, delta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.SaveGraph(dataset, digest, g); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.SaveOracle(dataset, digest, dtnsim.NewOracle(tr)); err != nil {
+		t.Fatal(err)
+	}
+	return st.Dir
+}
+
+// TestWarmStartServesFromStore pins the warm path end-to-end: a server
+// pointed at a warmed store answers /enumerate and /simulate without
+// ever building a graph or oracle, with responses byte-identical to a
+// cold server's.
+func TestWarmStartServesFromStore(t *testing.T) {
+	dir := warmStore(t, "dev", stgraph.DefaultDelta)
+	warm, warmTS := newTestServer(t, Config{ArtifactDir: dir})
+	cold, coldTS := newTestServer(t, Config{})
+	_ = cold
+
+	enumerate := `{"dataset":"dev","src":0,"dst":17,"start":0,"k":20}`
+	simulate := `{"dataset":"dev","algorithm":"epidemic","runs":1,"seed":7}`
+	for _, req := range []struct{ path, body string }{
+		{"/enumerate", enumerate},
+		{"/simulate", simulate},
+	} {
+		code, got := post(t, warmTS.URL+req.path, req.body)
+		if code != http.StatusOK {
+			t.Fatalf("warm %s: status %d: %s", req.path, code, got)
+		}
+		coldCode, want := post(t, coldTS.URL+req.path, req.body)
+		if coldCode != http.StatusOK {
+			t.Fatalf("cold %s: status %d: %s", req.path, coldCode, want)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s: warm response differs from cold build", req.path)
+		}
+	}
+
+	if loads, builds := warm.art.graphLoads.Load(), warm.art.graphBuilds.Load(); loads != 1 || builds != 0 {
+		t.Fatalf("graph loads/builds = %d/%d, want 1/0", loads, builds)
+	}
+	if loads, builds := warm.art.oracleLoads.Load(), warm.art.oracleBuilds.Load(); loads != 1 || builds != 0 {
+		t.Fatalf("oracle loads/builds = %d/%d, want 1/0", loads, builds)
+	}
+
+	code, body := get(t, warmTS.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: status %d", code)
+	}
+	for _, want := range []string{
+		`psn_artifact_loads_total{kind="graph"} 1`,
+		`psn_artifact_loads_total{kind="oracle"} 1`,
+		`psn_artifact_builds_total{kind="graph"} 0`,
+		`psn_artifact_builds_total{kind="oracle"} 0`,
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestWarmStartFallsBackOnMismatch: a store warmed from different
+// trace data (wrong digest) is treated as a miss — the server builds
+// live and still answers correctly.
+func TestWarmStartFallsBackOnMismatch(t *testing.T) {
+	// Warm with the dev trace but store it under a different dataset's
+	// digest by saving the artifacts keyed to a wrong digest value.
+	tr, err := NewRegistry().Trace("dev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := &artstore.Store{Dir: t.TempDir()}
+	g, err := stgraph.New(tr, stgraph.DefaultDelta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := artstore.TraceDigest(tr) + 1
+	if _, err := st.SaveGraph("dev", wrong, g); err != nil {
+		t.Fatal(err)
+	}
+
+	warm, warmTS := newTestServer(t, Config{ArtifactDir: st.Dir})
+	cold, coldTS := newTestServer(t, Config{})
+	_ = cold
+	req := `{"dataset":"dev","src":0,"dst":17,"start":0,"k":20}`
+	code, got := post(t, warmTS.URL+"/enumerate", req)
+	if code != http.StatusOK {
+		t.Fatalf("/enumerate: status %d: %s", code, got)
+	}
+	_, want := post(t, coldTS.URL+"/enumerate", req)
+	if !bytes.Equal(got, want) {
+		t.Fatal("fallback response differs from cold build")
+	}
+	if loads, builds := warm.art.graphLoads.Load(), warm.art.graphBuilds.Load(); loads != 0 || builds != 1 {
+		t.Fatalf("graph loads/builds = %d/%d, want 0/1 (digest mismatch must fall back)", loads, builds)
+	}
+}
+
+// TestWarmStartCityNoBuild is the PR's acceptance criterion: a replica
+// started against a warmed store serves its first city-2k request
+// without invoking stgraph.New (the service's only build path, counted
+// by graphBuilds).
+func TestWarmStartCityNoBuild(t *testing.T) {
+	if testing.Short() {
+		t.Skip("city-scale build in -short mode")
+	}
+	dir := warmStore(t, "city-2k", stgraph.DefaultDelta)
+	warm, warmTS := newTestServer(t, Config{ArtifactDir: dir})
+
+	req := `{"dataset":"city-2k","src":0,"dst":1700,"start":0,"k":4}`
+	code, body := post(t, warmTS.URL+"/enumerate", req)
+	if code != http.StatusOK {
+		t.Fatalf("/enumerate: status %d: %s", code, body)
+	}
+	if builds := warm.art.graphBuilds.Load(); builds != 0 {
+		t.Fatalf("first city-2k request built %d graphs, want 0 (warm load)", builds)
+	}
+	if loads := warm.art.graphLoads.Load(); loads != 1 {
+		t.Fatalf("graph loads = %d, want 1", loads)
+	}
+}

@@ -1,0 +1,284 @@
+package stgraph
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// Snapshot is the flat slab form of a built Graph: every frame's CSR
+// adjacency, component tables and distance matrices concatenated into
+// a handful of contiguous int32 slices, plus per-frame extent tables
+// locating each frame's regions. It is the serialization boundary of
+// the space-time graph — internal/artstore writes these slices to disk
+// verbatim and FromSnapshot rebuilds an identical index from them, so
+// a warm replica loads a city-scale graph in milliseconds instead of
+// re-running the event-sweep build.
+//
+// The slab contents are exactly the query-visible state of the graph:
+// two graphs with equal snapshots answer every query (Neighbors,
+// InContact, ActiveNodes, FrameOf, View components and distances)
+// byte-identically, because every accessor is a pure function of these
+// tables and the package's static matrices.
+type Snapshot struct {
+	NumNodes int
+	Delta    float64
+	Steps    int
+
+	// StepFrame maps each step to its frame index.
+	StepFrame []int32
+
+	// Per-frame extents, each len NumFrames+1 with entry 0 == 0: frame
+	// f's neighbor rows are Nbrs[FrameNbrOff[f]:FrameNbrOff[f+1]], its
+	// active/member lists Active/Members[FrameActiveOff[f]:
+	// FrameActiveOff[f+1]], its components c ∈ [FrameCompOff[f],
+	// FrameCompOff[f+1]) (indexing DistRef and, shifted by one entry
+	// per preceding frame, CompBounds), and its distance slab
+	// Dist[FrameDistOff[f]:FrameDistOff[f+1]].
+	FrameNbrOff    []int32
+	FrameActiveOff []int32
+	FrameCompOff   []int32
+	FrameDistOff   []int32
+
+	// Offsets and CompID hold NumFrames consecutive per-node tables of
+	// lengths NumNodes+1 and NumNodes respectively.
+	Offsets []int32
+	CompID  []int32
+
+	// Node-valued slabs (node ids fit int32 by the trace contract).
+	Nbrs    []int32
+	Active  []int32
+	Members []int32
+
+	// CompBounds concatenates each frame's component boundary table
+	// (frame f contributes FrameCompOff[f+1]-FrameCompOff[f]+1 entries,
+	// values indexing the frame's local member list). DistRef holds one
+	// entry per component: a non-negative frame-local offset into the
+	// frame's Dist region, or a negative static-matrix code.
+	CompBounds []int32
+	DistRef    []int32
+	Dist       []int32
+}
+
+// NumFrames returns the number of distinct frames in the snapshot.
+func (s *Snapshot) NumFrames() int {
+	if len(s.FrameNbrOff) == 0 {
+		return 0
+	}
+	return len(s.FrameNbrOff) - 1
+}
+
+// Snapshot flattens the graph into its slab form. The returned slices
+// are freshly allocated copies — arena-chunked component tables are
+// compacted into contiguous slabs — and share nothing with the graph.
+func (g *Graph) Snapshot() *Snapshot {
+	n := g.NumNodes
+	numFrames := len(g.frames)
+	s := &Snapshot{
+		NumNodes:       n,
+		Delta:          g.Delta,
+		Steps:          g.Steps,
+		StepFrame:      append([]int32(nil), g.stepFrame...),
+		FrameNbrOff:    make([]int32, numFrames+1),
+		FrameActiveOff: make([]int32, numFrames+1),
+		FrameCompOff:   make([]int32, numFrames+1),
+		FrameDistOff:   make([]int32, numFrames+1),
+		Offsets:        make([]int32, 0, numFrames*(n+1)),
+		CompID:         make([]int32, 0, numFrames*n),
+	}
+	for f := range g.frames {
+		fr := &g.frames[f]
+		s.FrameNbrOff[f+1] = s.FrameNbrOff[f] + int32(len(fr.nbrs))
+		s.FrameActiveOff[f+1] = s.FrameActiveOff[f] + int32(len(fr.active))
+		s.FrameCompOff[f+1] = s.FrameCompOff[f] + int32(len(fr.distRef))
+		s.FrameDistOff[f+1] = s.FrameDistOff[f] + int32(len(fr.dist))
+		s.Offsets = append(s.Offsets, fr.offsets...)
+		s.CompID = append(s.CompID, fr.compID...)
+		s.Nbrs = appendNodes(s.Nbrs, fr.nbrs)
+		s.Active = appendNodes(s.Active, fr.active)
+		s.Members = appendNodes(s.Members, fr.members)
+		s.CompBounds = append(s.CompBounds, fr.compBounds...)
+		s.DistRef = append(s.DistRef, fr.distRef...)
+		s.Dist = append(s.Dist, fr.dist...)
+	}
+	return s
+}
+
+func appendNodes(dst []int32, nodes []trace.NodeID) []int32 {
+	for _, x := range nodes {
+		dst = append(dst, int32(x))
+	}
+	return dst
+}
+
+// snapshotError wraps every FromSnapshot rejection.
+func snapErr(format string, args ...any) error {
+	return fmt.Errorf("stgraph: invalid snapshot: "+format, args...)
+}
+
+// FromSnapshot rebuilds a Graph from its slab form, validating the
+// tables deeply enough that every query on the result is in-bounds: a
+// corrupted or truncated snapshot is rejected with an error rather
+// than producing a graph that panics later. The int32 slabs (Offsets,
+// CompID, CompBounds, DistRef, Dist, StepFrame) are aliased, not
+// copied — callers loading them from a read-only mapping get a
+// zero-copy graph; the node-valued slabs are widened into fresh
+// trace.NodeID storage. The snapshot must not be modified afterwards.
+func FromSnapshot(s *Snapshot) (*Graph, error) {
+	n := s.NumNodes
+	if n <= 0 {
+		return nil, snapErr("numNodes %d", n)
+	}
+	if !(s.Delta > 0) {
+		return nil, snapErr("delta %g", s.Delta)
+	}
+	if s.Steps <= 0 || len(s.StepFrame) != s.Steps {
+		return nil, snapErr("stepFrame length %d for %d steps", len(s.StepFrame), s.Steps)
+	}
+	numFrames := s.NumFrames()
+	for _, ext := range []struct {
+		name  string
+		off   []int32
+		total int
+	}{
+		{"frameNbrOff", s.FrameNbrOff, len(s.Nbrs)},
+		{"frameActiveOff", s.FrameActiveOff, len(s.Active)},
+		{"frameCompOff", s.FrameCompOff, len(s.DistRef)},
+		{"frameDistOff", s.FrameDistOff, len(s.Dist)},
+	} {
+		if len(ext.off) != numFrames+1 {
+			return nil, snapErr("%s length %d, want %d", ext.name, len(ext.off), numFrames+1)
+		}
+		if ext.off[0] != 0 || int(ext.off[numFrames]) != ext.total {
+			return nil, snapErr("%s spans [%d,%d], slab holds %d", ext.name, ext.off[0], ext.off[numFrames], ext.total)
+		}
+		for f := 0; f < numFrames; f++ {
+			if ext.off[f+1] < ext.off[f] {
+				return nil, snapErr("%s decreases at frame %d", ext.name, f)
+			}
+		}
+	}
+	if len(s.Active) != len(s.Members) {
+		return nil, snapErr("active slab %d entries, members %d", len(s.Active), len(s.Members))
+	}
+	if len(s.Offsets) != numFrames*(n+1) {
+		return nil, snapErr("offsets slab %d entries, want %d", len(s.Offsets), numFrames*(n+1))
+	}
+	if len(s.CompID) != numFrames*n {
+		return nil, snapErr("compID slab %d entries, want %d", len(s.CompID), numFrames*n)
+	}
+	wantBounds := 0
+	if numFrames > 0 {
+		wantBounds = len(s.DistRef) + numFrames
+	}
+	if len(s.CompBounds) != wantBounds {
+		return nil, snapErr("compBounds slab %d entries, want %d", len(s.CompBounds), wantBounds)
+	}
+	for _, fidx := range s.StepFrame {
+		if fidx < 0 || int(fidx) >= numFrames {
+			return nil, snapErr("stepFrame index %d outside %d frames", fidx, numFrames)
+		}
+	}
+
+	g := &Graph{
+		NumNodes:  n,
+		Delta:     s.Delta,
+		Steps:     s.Steps,
+		stepFrame: s.StepFrame,
+		frames:    make([]frame, numFrames),
+	}
+	nbrs, ok := widenNodes(s.Nbrs, n)
+	if !ok {
+		return nil, snapErr("neighbor id outside population %d", n)
+	}
+	active, ok := widenNodes(s.Active, n)
+	if !ok {
+		return nil, snapErr("active id outside population %d", n)
+	}
+	members, ok := widenNodes(s.Members, n)
+	if !ok {
+		return nil, snapErr("member id outside population %d", n)
+	}
+
+	boundsOff := 0
+	for f := 0; f < numFrames; f++ {
+		fr := &g.frames[f]
+		fr.offsets = s.Offsets[f*(n+1) : (f+1)*(n+1)]
+		fr.compID = s.CompID[f*n : (f+1)*n]
+		fr.nbrs = nbrs[s.FrameNbrOff[f]:s.FrameNbrOff[f+1]]
+		fr.active = active[s.FrameActiveOff[f]:s.FrameActiveOff[f+1]]
+		fr.members = members[s.FrameActiveOff[f]:s.FrameActiveOff[f+1]]
+		comps := int(s.FrameCompOff[f+1] - s.FrameCompOff[f])
+		fr.compBounds = s.CompBounds[boundsOff : boundsOff+comps+1]
+		boundsOff += comps + 1
+		fr.distRef = s.DistRef[s.FrameCompOff[f]:s.FrameCompOff[f+1]]
+		fr.dist = s.Dist[s.FrameDistOff[f]:s.FrameDistOff[f+1]]
+		if err := validateFrame(f, fr, n); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// widenNodes copies an int32 node slab into trace.NodeID storage,
+// range-checking every id in the same pass (these slabs are tens of
+// megabytes at city scale; a separate validation walk would double the
+// memory traffic of a warm-start load).
+func widenNodes(src []int32, n int) ([]trace.NodeID, bool) {
+	out := make([]trace.NodeID, len(src))
+	for i, x := range src {
+		if x < 0 || int(x) >= n {
+			return nil, false
+		}
+		out[i] = trace.NodeID(x)
+	}
+	return out, true
+}
+
+// validateFrame checks one restored frame's tables against every
+// access pattern the query API performs, so no slice expression over a
+// hostile snapshot can go out of bounds.
+func validateFrame(f int, fr *frame, n int) error {
+	rowTotal := int32(len(fr.nbrs))
+	if fr.offsets[0] != 0 || fr.offsets[n] != rowTotal {
+		return snapErr("frame %d offsets span [%d,%d], rows hold %d", f, fr.offsets[0], fr.offsets[n], rowTotal)
+	}
+	for x := 0; x < n; x++ {
+		if fr.offsets[x+1] < fr.offsets[x] {
+			return snapErr("frame %d offsets decrease at node %d", f, x)
+		}
+	}
+	comps := len(fr.distRef)
+	memberTotal := int32(len(fr.members))
+	if fr.compBounds[0] != 0 || fr.compBounds[comps] != memberTotal {
+		return snapErr("frame %d compBounds span [%d,%d], members hold %d", f, fr.compBounds[0], fr.compBounds[comps], memberTotal)
+	}
+	for c := 0; c < comps; c++ {
+		if fr.compBounds[c+1] < fr.compBounds[c] {
+			return snapErr("frame %d compBounds decrease at component %d", f, c)
+		}
+	}
+	for _, id := range fr.compID {
+		if id < 0 || int(id) > comps {
+			return snapErr("frame %d component id %d outside %d components", f, id, comps)
+		}
+	}
+	for c := 0; c < comps; c++ {
+		m := int(fr.compBounds[c+1] - fr.compBounds[c])
+		ref := fr.distRef[c]
+		if ref >= 0 {
+			if int(ref)+m*m > len(fr.dist) {
+				return snapErr("frame %d component %d distance matrix [%d,%d) outside slab of %d", f, c, ref, int(ref)+m*m, len(fr.dist))
+			}
+			continue
+		}
+		code := int(-ref - 1)
+		if code >= len(staticDist) {
+			return snapErr("frame %d component %d static distance code %d", f, c, ref)
+		}
+		if m*m != len(staticDist[code]) {
+			return snapErr("frame %d component %d has %d members, static matrix %d holds %d entries", f, c, m, code, len(staticDist[code]))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,182 @@
+package stgraph
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// queriesEqual compares every query the package exposes over two
+// graphs, step by step.
+func queriesEqual(t *testing.T, want, got *Graph) {
+	t.Helper()
+	if want.NumNodes != got.NumNodes || want.Delta != got.Delta || want.Steps != got.Steps {
+		t.Fatalf("shape differs: %d/%g/%d vs %d/%g/%d",
+			got.NumNodes, got.Delta, got.Steps, want.NumNodes, want.Delta, want.Steps)
+	}
+	if want.NumFrames() != got.NumFrames() {
+		t.Fatalf("NumFrames = %d, want %d", got.NumFrames(), want.NumFrames())
+	}
+	for s := 0; s < want.Steps; s++ {
+		if want.FrameOf(s) != got.FrameOf(s) {
+			t.Fatalf("step %d: FrameOf = %d, want %d", s, got.FrameOf(s), want.FrameOf(s))
+		}
+		if !reflect.DeepEqual(want.ActiveNodes(s), got.ActiveNodes(s)) {
+			t.Fatalf("step %d: ActiveNodes differ", s)
+		}
+		if want.EdgeCount(s) != got.EdgeCount(s) {
+			t.Fatalf("step %d: EdgeCount = %d, want %d", s, got.EdgeCount(s), want.EdgeCount(s))
+		}
+		wv, gv := want.View(s), got.View(s)
+		if wv.NumComponents() != gv.NumComponents() {
+			t.Fatalf("step %d: NumComponents = %d, want %d", s, gv.NumComponents(), wv.NumComponents())
+		}
+		for x := 0; x < want.NumNodes; x++ {
+			nx := trace.NodeID(x)
+			if !reflect.DeepEqual(want.Neighbors(s, nx), got.Neighbors(s, nx)) {
+				t.Fatalf("step %d node %d: Neighbors differ", s, x)
+			}
+			if wv.ComponentOf(nx) != gv.ComponentOf(nx) {
+				t.Fatalf("step %d node %d: ComponentOf = %d, want %d", s, x, gv.ComponentOf(nx), wv.ComponentOf(nx))
+			}
+			if wv.MemberIndex(nx) != gv.MemberIndex(nx) {
+				t.Fatalf("step %d node %d: MemberIndex differs", s, x)
+			}
+		}
+		for c := 0; c < wv.NumComponents(); c++ {
+			wm, gm := wv.Members(c), gv.Members(c)
+			if !reflect.DeepEqual(wm, gm) {
+				t.Fatalf("step %d component %d: Members differ", s, c)
+			}
+			for i := range wm {
+				for j := range wm {
+					if wv.Dist(c, i, j) != gv.Dist(c, i, j) {
+						t.Fatalf("step %d component %d: Dist(%d,%d) = %d, want %d",
+							s, c, i, j, gv.Dist(c, i, j), wv.Dist(c, i, j))
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	for _, seed := range []int64{1, 2, 7} {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 + rng.Intn(24)
+		horizon := 300.0
+		var cs []trace.Contact
+		for i := 0; i < 40+rng.Intn(120); i++ {
+			a := trace.NodeID(rng.Intn(n))
+			b := trace.NodeID(rng.Intn(n - 1))
+			if b >= a {
+				b++
+			}
+			start := rng.Float64() * horizon
+			cs = append(cs, trace.Contact{A: a, B: b, Start: start, End: start + rng.Float64()*(horizon-start)})
+		}
+		tr := trace.MustNew("snap", n, horizon, cs)
+		for _, delta := range []float64{5, 10, 37.5} {
+			g, err := New(tr, delta)
+			if err != nil {
+				t.Fatal(err)
+			}
+			restored, err := FromSnapshot(g.Snapshot())
+			if err != nil {
+				t.Fatalf("seed %d delta %g: FromSnapshot: %v", seed, delta, err)
+			}
+			queriesEqual(t, g, restored)
+			// Snapshotting the restored graph reproduces the original
+			// snapshot exactly — the slab form is a fixed point.
+			if !reflect.DeepEqual(g.Snapshot(), restored.Snapshot()) {
+				t.Fatalf("seed %d delta %g: restored snapshot differs from original", seed, delta)
+			}
+		}
+	}
+}
+
+func TestSnapshotRoundTripEmptyTrace(t *testing.T) {
+	tr := trace.MustNew("empty", 4, 100, nil)
+	g, err := New(tr, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := FromSnapshot(g.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	queriesEqual(t, g, restored)
+}
+
+// TestFromSnapshotRejectsCorruption mutates one field at a time and
+// expects every mutation to be rejected rather than panic later.
+func TestFromSnapshotRejectsCorruption(t *testing.T) {
+	// A 5-node path component so at least one frame materializes a real
+	// distance matrix (sizes ≤3 are served from static matrices).
+	tr := trace.MustNew("corrupt", 6, 100, []trace.Contact{
+		{A: 0, B: 1, Start: 0, End: 30},
+		{A: 1, B: 2, Start: 0, End: 30},
+		{A: 2, B: 3, Start: 0, End: 30},
+		{A: 3, B: 4, Start: 0, End: 30},
+		{A: 4, B: 5, Start: 50, End: 90},
+	})
+	fresh := func() *Snapshot {
+		g, err := New(tr, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g.Snapshot()
+	}
+	cases := []struct {
+		name   string
+		mutate func(*testing.T, *Snapshot)
+	}{
+		{"zero nodes", func(t *testing.T, s *Snapshot) { s.NumNodes = 0 }},
+		{"negative delta", func(t *testing.T, s *Snapshot) { s.Delta = -1 }},
+		{"stepFrame truncated", func(t *testing.T, s *Snapshot) { s.StepFrame = s.StepFrame[:len(s.StepFrame)-1] }},
+		{"stepFrame out of range", func(t *testing.T, s *Snapshot) { s.StepFrame[0] = int32(s.NumFrames()) }},
+		{"frame extents truncated", func(t *testing.T, s *Snapshot) { s.FrameNbrOff = s.FrameNbrOff[:len(s.FrameNbrOff)-1] }},
+		{"nbr extent overflow", func(t *testing.T, s *Snapshot) { s.FrameNbrOff[len(s.FrameNbrOff)-1]++ }},
+		{"nbr extent decreasing", func(t *testing.T, s *Snapshot) {
+			s.FrameNbrOff[1] = s.FrameNbrOff[len(s.FrameNbrOff)-1] + 1
+		}},
+		{"offsets truncated", func(t *testing.T, s *Snapshot) { s.Offsets = s.Offsets[:len(s.Offsets)-1] }},
+		{"offsets decreasing", func(t *testing.T, s *Snapshot) { s.Offsets[1] = 127 }},
+		{"compID truncated", func(t *testing.T, s *Snapshot) { s.CompID = s.CompID[:len(s.CompID)-1] }},
+		{"compID out of range", func(t *testing.T, s *Snapshot) { s.CompID[0] = 99 }},
+		{"neighbor id out of range", func(t *testing.T, s *Snapshot) { s.Nbrs[0] = int32(s.NumNodes) }},
+		{"member id negative", func(t *testing.T, s *Snapshot) { s.Members[0] = -1 }},
+		{"compBounds truncated", func(t *testing.T, s *Snapshot) { s.CompBounds = s.CompBounds[:len(s.CompBounds)-1] }},
+		{"compBounds overflow", func(t *testing.T, s *Snapshot) { s.CompBounds[1] = 1 << 20 }},
+		{"distRef bad static code", func(t *testing.T, s *Snapshot) { s.DistRef[0] = -100 }},
+		{"distRef offset past slab", func(t *testing.T, s *Snapshot) {
+			for i, ref := range s.DistRef {
+				if ref >= 0 {
+					s.DistRef[i] = int32(len(s.Dist)) // m*m would run past the slab
+					return
+				}
+			}
+			t.Skip("no component with a materialized matrix to corrupt")
+		}},
+		{"dist slab truncated", func(t *testing.T, s *Snapshot) {
+			if len(s.Dist) == 0 {
+				t.Skip("no materialized distance matrices")
+			}
+			s.Dist = s.Dist[:len(s.Dist)-1]
+		}},
+	}
+	if _, err := FromSnapshot(fresh()); err != nil {
+		t.Fatalf("pristine snapshot rejected: %v", err)
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := fresh()
+			tc.mutate(t, s)
+			if _, err := FromSnapshot(s); err == nil {
+				t.Fatal("corrupted snapshot accepted")
+			}
+		})
+	}
+}

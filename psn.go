@@ -18,7 +18,11 @@
 //   - the HTTP serving layer: a dataset registry plus a server that
 //     exposes enumeration, simulation and figure data as JSON
 //     endpoints over cached per-dataset artifacts (NewRegistry,
-//     NewServer; see cmd/psn-serve).
+//     NewServer; see cmd/psn-serve);
+//   - the on-disk artifact store behind instant warm starts: versioned,
+//     checksummed serializations of built space-time graphs and oracle
+//     tables (ArtifactStore, TraceDigest; see cmd/psn-warm and
+//     psn-serve -artifacts).
 //
 // # Concurrency and determinism
 //
@@ -70,6 +74,7 @@ import (
 	"io"
 
 	"repro/internal/analytic"
+	"repro/internal/artstore"
 	"repro/internal/dtnsim"
 	"repro/internal/engine"
 	"repro/internal/figures"
@@ -354,3 +359,37 @@ func NewRegistry() *Registry { return service.NewRegistry() }
 // NewServer builds the experiment-serving HTTP server; mount its
 // Handler under any http.Server.
 func NewServer(cfg ServeConfig) *Server { return service.New(cfg) }
+
+// Artifact store (warm start).
+type (
+	// ArtifactStore is a versioned on-disk store of precomputed
+	// per-dataset artifacts — serialized space-time graphs and
+	// simulator oracle tables — keyed by format version, build
+	// parameters and a digest of the source trace. cmd/psn-warm fills
+	// one; a Server with ServeConfig.ArtifactDir (psn-serve -artifacts)
+	// loads from it instead of building, falling back to a live build
+	// on any miss or mismatch. The zero value of Dir is invalid; Mmap
+	// selects how artifact files are mapped (MmapAuto by default).
+	ArtifactStore = artstore.Store
+	// MmapPolicy selects how an ArtifactStore maps files into memory.
+	MmapPolicy = artstore.MmapPolicy
+)
+
+// Mmap policies for ArtifactStore.
+const (
+	MmapAuto   = artstore.MmapAuto
+	MmapNever  = artstore.MmapNever
+	MmapAlways = artstore.MmapAlways
+)
+
+// ErrArtifactMiss is wrapped by every ArtifactStore load failure — a
+// missing file, version skew, parameter or digest mismatch, or
+// corruption — so callers can treat "fall back to a live build" as one
+// errors.Is check.
+var ErrArtifactMiss = artstore.ErrMiss
+
+// TraceDigest fingerprints a trace's full contact content (FNV-1a 64).
+// Artifacts are saved and looked up under this digest, so a store
+// warmed from different trace data than the server resolves is a miss,
+// never a wrong answer.
+func TraceDigest(t *Trace) uint64 { return artstore.TraceDigest(t) }
