@@ -1,0 +1,55 @@
+package artstore
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// craft writes an artifact file with an attacker-controlled header
+// (valid magic/version/CRC) and a small payload area.
+func craft(t *testing.T, dir string, h header) string {
+	t.Helper()
+	hdrJSON, err := json.Marshal(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fixed [20]byte
+	copy(fixed[:8], magic[:])
+	binary.LittleEndian.PutUint32(fixed[8:], FormatVersion)
+	binary.LittleEndian.PutUint32(fixed[12:], uint32(len(hdrJSON)))
+	binary.LittleEndian.PutUint32(fixed[16:], crc32.Checksum(hdrJSON, castagnoli))
+	buf := append(fixed[:], hdrJSON...)
+	for len(buf)%8 != 0 {
+		buf = append(buf, 0)
+	}
+	buf = append(buf, make([]byte, 64)...) // payload area
+	path := filepath.Join(dir, "oracle_dev.psna")
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestHostileNegativeSectionCount(t *testing.T) {
+	dir := t.TempDir()
+	h := header{
+		Kind:    kindOracle,
+		Dataset: "dev",
+		Digest:  "0000000000000000",
+		Sections: []section{
+			{Name: "eventOrder", Count: -2, Off: 0, Len: -8, CRC: 0},
+		},
+	}
+	craft(t, dir, h)
+	s := &Store{Dir: dir, Mmap: MmapNever}
+	hdr, data, err := s.readFile(s.OraclePath("dev"))
+	if err != nil {
+		t.Fatalf("readFile: %v", err)
+	}
+	_, err = sectionInt32s(s.OraclePath("dev"), data, hdr.Sections[0])
+	t.Logf("sectionInt32s err = %v", err)
+}
