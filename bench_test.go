@@ -168,6 +168,8 @@ func BenchmarkRunParallel(b *testing.B) { benchmarkRunWorkers(b, 0) } // GOMAXPR
 func BenchmarkEnumerateAllSerial(b *testing.B)   { benchsuite.EnumerateAllWorkers(1)(b) }
 func BenchmarkEnumerateAllParallel(b *testing.B) { benchsuite.EnumerateAllWorkers(0)(b) }
 
+func BenchmarkEnumerateBatchSharedPrefix(b *testing.B) { benchsuite.EnumerateBatchSharedPrefix(b) }
+
 // BenchmarkHarnessPrecompute runs the figure harness's parallel
 // precompute stage end to end at reduced scale.
 func BenchmarkHarnessPrecompute(b *testing.B) {

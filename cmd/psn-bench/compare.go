@@ -117,6 +117,17 @@ func ratio(cur, base float64) float64 {
 	return cur / base
 }
 
+// gomaxprocsMismatch reports whether the two snapshots ran under
+// different GOMAXPROCS, in which case their timings measure different
+// workload shapes (parallel benchmarks scale with cores, and even
+// serial ones see different scheduler behavior) and regression gating
+// between them is meaningless. A baseline that predates the field
+// (recorded as 0) is treated as a mismatch: its setting is unknown, so
+// a gate against it cannot be trusted either.
+func gomaxprocsMismatch(base, cur snapshot) bool {
+	return base.GOMAXPROCS != cur.GOMAXPROCS
+}
+
 // regressions returns the benchmarks whose ns/op or allocs/op ratio
 // exceeds 1+threshold. threshold <= 0 disables the check.
 func regressions(deltas []delta, threshold float64) []delta {

@@ -107,6 +107,44 @@ func TestRegressions(t *testing.T) {
 	}
 }
 
+func TestGomaxprocsMismatch(t *testing.T) {
+	cases := []struct {
+		name      string
+		base, cur int
+		want      bool
+	}{
+		{"equal", 1, 1, false},
+		{"equal multi-core", 4, 4, false},
+		{"baseline serial, current parallel", 1, 2, true},
+		{"baseline parallel, current serial", 2, 1, true},
+		// A pre-field baseline records 0: its setting is unknown, so
+		// gating against it cannot be trusted.
+		{"baseline predates field", 0, 2, true},
+	}
+	for _, tc := range cases {
+		base := snapshot{GOMAXPROCS: tc.base}
+		cur := snapshot{GOMAXPROCS: tc.cur}
+		if got := gomaxprocsMismatch(base, cur); got != tc.want {
+			t.Errorf("%s: gomaxprocsMismatch(%d, %d) = %v, want %v",
+				tc.name, tc.base, tc.cur, got, tc.want)
+		}
+	}
+}
+
+func TestSnapshotRecordsGomaxprocs(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(path, []byte(`{"gomaxprocs": 2, "benchmarks": []}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := loadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.GOMAXPROCS != 2 {
+		t.Errorf("GOMAXPROCS = %d, want 2", s.GOMAXPROCS)
+	}
+}
+
 func TestLoadSnapshotRoundTrip(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "bench.json")
 	if err := os.WriteFile(path, []byte(`{

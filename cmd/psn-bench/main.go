@@ -15,6 +15,15 @@
 //	psn-bench -baseline BENCH_2026-07-30.json                # print deltas
 //	psn-bench -baseline old.json -regress 0.15               # fail on >15% regression
 //
+// -cpus N pins GOMAXPROCS for the run (0 keeps the environment's
+// setting), so single-core and multi-core snapshots can be taken from
+// one machine. Snapshots record the GOMAXPROCS they ran under; when a
+// baseline's differs from the current run's, timings are not
+// comparable — psn-bench prints a warning and skips -regress gating
+// rather than fail (or pass) a gate on an apples-to-oranges diff:
+//
+//	psn-bench -cpus 2 -count 2 -baseline BENCH_2026-08-08.json
+//
 // -count N runs every benchmark N times and keeps the best ns/op,
 // B/op and allocs/op across attempts. Minimum-of-N is the standard
 // noise reducer for benchmark comparisons (scheduling and cache
@@ -66,10 +75,18 @@ func main() {
 	baseline := flag.String("baseline", "", "previous BENCH_*.json to diff against")
 	regress := flag.Float64("regress", 0, "with -baseline: exit non-zero when ns/op or allocs/op regresses by more than this fraction (e.g. 0.15 = 15%); 0 disables")
 	count := flag.Int("count", 1, "run each benchmark this many times and keep the best ns/op and allocs/op")
+	cpus := flag.Int("cpus", 0, "set GOMAXPROCS for the benchmark run (0 keeps the environment's setting)")
 	flag.Parse()
 	if *count < 1 {
 		fmt.Fprintln(os.Stderr, "psn-bench: -count must be at least 1")
 		os.Exit(2)
+	}
+	if *cpus < 0 {
+		fmt.Fprintln(os.Stderr, "psn-bench: -cpus must be non-negative")
+		os.Exit(2)
+	}
+	if *cpus > 0 {
+		runtime.GOMAXPROCS(*cpus)
 	}
 
 	all := benchsuite.Specs()
@@ -158,7 +175,16 @@ func main() {
 		deltas, baseOnly, curOnly := compareSnapshots(base, snap)
 		printDeltas(os.Stdout, deltas)
 		printSkipped(os.Stderr, baseOnly, curOnly)
-		if bad := regressions(deltas, *regress); len(bad) > 0 {
+		gate := *regress
+		if gomaxprocsMismatch(base, snap) {
+			fmt.Fprintf(os.Stderr, "psn-bench: baseline GOMAXPROCS=%d differs from current GOMAXPROCS=%d; timings are not comparable\n",
+				base.GOMAXPROCS, snap.GOMAXPROCS)
+			if gate > 0 {
+				fmt.Fprintln(os.Stderr, "psn-bench: skipping -regress gating (GOMAXPROCS mismatch)")
+				gate = 0
+			}
+		}
+		if bad := regressions(deltas, gate); len(bad) > 0 {
 			for _, d := range bad {
 				fmt.Fprintf(os.Stderr, "psn-bench: regression: %s (ns/op %.2fx, allocs/op %.2fx exceeds 1+%.2f)\n",
 					d.Name, d.NsRatio, d.AllocsRatio, *regress)

@@ -309,7 +309,7 @@ func (s *Store) readFile(path string) (*header, []byte, error) {
 func sectionInt32s(path string, data []byte, sec section) ([]int32, error) {
 	base := align8(20 + int64(binary.LittleEndian.Uint32(data[12:])))
 	off := base + sec.Off
-	if sec.Off < 0 || sec.Len != int64(sec.Count)*4 || off < base || off+sec.Len > int64(len(data)) {
+	if sec.Off < 0 || sec.Count < 0 || sec.Len != int64(sec.Count)*4 || off < base || off+sec.Len > int64(len(data)) {
 		return nil, miss("%s: section %s [%d,%d) outside file of %d bytes",
 			path, sec.Name, off, off+sec.Len, len(data))
 	}

@@ -42,6 +42,7 @@ func Specs() []Spec {
 		{"EnumerateCityMessage", EnumerateCityMessage},
 		{"EnumerateAllSerial", EnumerateAllWorkers(1)},
 		{"EnumerateAllParallel", EnumerateAllWorkers(0)},
+		{"EnumerateBatchSharedPrefix", EnumerateBatchSharedPrefix},
 		{"SimulateEpidemic", SimulateEpidemic},
 		{"SimulateSweep", SimulateSweep},
 		{"SimulateCitySweep", SimulateCitySweep},
@@ -204,6 +205,38 @@ func EnumerateAllWorkers(workers int) func(b *testing.B) {
 			if _, err := enum.EnumerateAll(msgs); err != nil {
 				b.Fatal(err)
 			}
+		}
+	}
+}
+
+// EnumerateBatchSharedPrefix enumerates a 16-destination batch sharing
+// one (src, start) — the shape of the paper's per-destination Fig
+// 10/13 sweeps, and the case the batch grouping in
+// pathenum.EnumerateAll exists for: the dynamic program's prefix runs
+// once per group instead of once per message. Contrast with
+// EnumerateAllSerial, whose 16 messages have unique (src, start) pairs
+// and degenerate to independent enumerations.
+func EnumerateBatchSharedPrefix(b *testing.B) {
+	tr := tracegen.MustGenerate(tracegen.Conext0912)
+	enum, err := pathenum.NewEnumerator(tr, pathenum.Options{K: 500, Workers: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	src := trace.NodeID(rng.Intn(tr.NumNodes))
+	msgs := make([]pathenum.Message, 0, 16)
+	for len(msgs) < cap(msgs) {
+		dst := trace.NodeID(rng.Intn(tr.NumNodes))
+		if dst == src {
+			continue
+		}
+		msgs = append(msgs, pathenum.Message{Src: src, Dst: dst, Start: 600})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := enum.EnumerateAll(msgs); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

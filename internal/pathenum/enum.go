@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"sync"
 
-	"repro/internal/engine"
 	"repro/internal/stgraph"
 	"repro/internal/trace"
 )
@@ -111,9 +110,10 @@ type Enumerator struct {
 
 	// wide marks populations beyond the nodeSet bitset capacity
 	// (city-scale traces): path membership — loop avoidance roots and
-	// first-preference pruning — is then resolved by walking arena
-	// parent chains against epoch-marked scratch instead of reading
-	// per-path bitsets. Both modes run the identical dynamic program.
+	// first-preference pruning — is then resolved through full-width
+	// bitset rows, one per table entry, held in a slab arena (see
+	// rowArena) instead of the pnodes' inline two-word sets. Both
+	// modes run the identical dynamic program.
 	wide bool
 
 	// Per-call scratch, pooled so sequential calls reuse their
@@ -121,12 +121,35 @@ type Enumerator struct {
 	pool sync.Pool
 }
 
-// entry is one table or queue slot: an arena handle with the path's
-// hop count alongside, so the merge, threshold and acceptance checks
-// never touch the arena. Entries are pointer-free, keeping every
-// per-node table outside the garbage collector's write barriers.
+// entry is one table slot: an arena handle with the path's hop count
+// alongside, so the merge, threshold and acceptance checks never touch
+// the arena. Entries are pointer-free, keeping every per-node table
+// outside the garbage collector's write barriers. In wide mode row
+// holds the entry's membership bitset handle (see rowArena); narrow
+// tables leave it zero and use the pnode's inline nodeSet instead.
+// (Carrying the membership bitset in the entry was measured and lost:
+// 12-byte entries keep the saturated tables and merge traffic almost
+// 3x denser than 32-byte ones, which outweighs the arena loads.)
 type entry struct {
 	idx  int32
+	hops int32
+	row  int32
+}
+
+// bfsNode is one slot of the per-extension BFS queue. Transit nodes —
+// reached only to search deeper, not (yet) accepted by any table — are
+// kept unmaterialized: idx is -1 and the chain back to the root lives
+// in par links (queue indexes), so hopeless subtrees never touch the
+// arena. The first accepted or delivered descendant materializes the
+// chain on demand (see scratch.materialize). A slot's path membership
+// lives in its materialized pnode — the accept path reads it straight
+// from the arena slot materialize just wrote, still cache-hot — so
+// carrying it in the queue would only double the footprint of the
+// dominant share of slots that never get accepted.
+type bfsNode struct {
+	idx  int32 // arena handle, -1 while unmaterialized
+	par  int32 // queue index of the parent slot, -1 for the root
+	node int32
 	hops int32
 }
 
@@ -136,18 +159,79 @@ type entry struct {
 type scratch struct {
 	visited   []int // BFS epoch marks
 	epoch     int
-	mark      []int // wide-mode membership marks (root sets, delivered sets)
-	markEpoch int
 	hopCounts []int32 // counting-sort buckets, len NumNodes+1
 	mergeBuf  []entry
 	table     [][]entry // per-node k-shortest tables (rows reused across calls)
 	cands     [][]entry // per-node candidate lists for the current step
-	thresh    []int     // per-node extension thresholds
-	caps      []int     // per-member table capacities (threshold scratch)
-	queue     []entry   // BFS ring buffer
+	thresh    []int32   // per-node extension thresholds
+	caps      []int32   // per-member table capacities (threshold scratch)
+	bqueue    []bfsNode // BFS queue (lazily materialized chains)
+	matStack  []int32   // queue indexes pending materialization
 	sortBuf   []entry   // counting-sort output buffer
 	arrivals  []int32   // arena handles of delivered paths, arrival order
 	arena     pathArena // slab allocator for this call's path tree
+
+	// Exact acceptance bounds. bound[i] is the hop count a candidate at
+	// node i must beat to survive this step's merge: the width-th
+	// smallest hop count among i's table entries plus the step's
+	// accepted candidates so far (boundInf while fewer than width
+	// exist). Between steps it equals the static table cap, maintained
+	// at every table mutation; within a step noteAccept tightens it as
+	// candidates are accepted, so the BFS rejects exactly the
+	// candidates the merge would drop — one array load per scan.
+	// below/hist back the tightening: hist[i*histCap+h] counts tracked
+	// elements at hop h, below[i] counts tracked elements strictly
+	// under bound[i] (-1 until the node's first accept lazily bins its
+	// existing table; dirty lists the nodes to clean at step end).
+	bound []int32
+	below []int32
+	hist  []int32
+	dirty []int32
+
+	// stamp[i] is the last step whose merge, prune or seed changed
+	// node i's table. Together with the graph's stable-component
+	// marks it drives the static-component skip: a component whose
+	// adjacency is unchanged from the previous step and none of whose
+	// members' tables changed during it would reproduce exactly the
+	// candidate set it produced then — all of which were dropped, or
+	// the tables would have changed — so the whole component is
+	// skipped without extending a single path.
+	stamp []int32
+
+	// Wide mode only: membership bitset rows plus the delivered-node
+	// bitset for pruning. Every entry owns its row exclusively; rows
+	// are freed the moment the merge or prune drops the entry.
+	// deliveredIdx lists the indexes of deliveredBits' nonzero words:
+	// the destination's contact set is a handful of nodes, so the
+	// per-entry prune sweep touches one or two words instead of the
+	// full ceil(n/64)-word row.
+	rows          rowArena
+	deliveredBits []uint64
+	deliveredIdx  []int32
+}
+
+// materialize returns the arena handle of BFS queue slot qi, allocating
+// the unmaterialized suffix of its chain (parent-first) on demand. Every
+// allocated slot is recorded back into the queue, so a chain shared by
+// several accepted descendants is materialized once.
+func (sc *scratch) materialize(qi int32, s int) int32 {
+	if sc.bqueue[qi].idx >= 0 {
+		return sc.bqueue[qi].idx
+	}
+	stack := sc.matStack[:0]
+	for sc.bqueue[qi].idx < 0 {
+		stack = append(stack, qi)
+		qi = sc.bqueue[qi].par
+	}
+	idx := sc.bqueue[qi].idx
+	for i := len(stack) - 1; i >= 0; i-- {
+		b := &sc.bqueue[stack[i]]
+		pn := sc.arena.at(idx)
+		idx = sc.arena.extend(idx, pn.members, pn.hops, trace.NodeID(b.node), s)
+		b.idx = idx
+	}
+	sc.matStack = stack[:0]
+	return idx
 }
 
 func (e *Enumerator) getScratch() *scratch {
@@ -155,14 +239,28 @@ func (e *Enumerator) getScratch() *scratch {
 		return sc
 	}
 	n := e.tr.NumNodes
-	return &scratch{
+	sc := &scratch{
 		visited:   make([]int, n),
-		mark:      make([]int, n),
 		hopCounts: make([]int32, n+1),
 		table:     make([][]entry, n),
 		cands:     make([][]entry, n),
-		thresh:    make([]int, n),
+		thresh:    make([]int32, n),
+		bound:     make([]int32, n),
+		below:     make([]int32, n),
+		hist:      make([]int32, n*int(histCap)),
+		stamp:     make([]int32, n),
 	}
+	for i := range sc.bound {
+		sc.bound[i] = boundInf
+		sc.below[i] = -1
+		sc.stamp[i] = -2
+	}
+	if e.wide {
+		words := int32((n + 63) / 64)
+		sc.rows.words = words
+		sc.deliveredBits = make([]uint64, words)
+	}
+	return sc
 }
 
 // prepare resets the scratch for a fresh enumeration. The arena rewind
@@ -173,9 +271,25 @@ func (sc *scratch) prepare() {
 	for i := range sc.table {
 		sc.table[i] = sc.table[i][:0]
 		sc.cands[i] = sc.cands[i][:0]
+		sc.bound[i] = boundInf
+		sc.stamp[i] = -2
 	}
+	// A MaxArrivals stop can abandon a step mid-phase; clean the
+	// histogram state its accepts left behind.
+	sc.clearHists()
 	sc.arrivals = sc.arrivals[:0]
 	sc.arena.reset()
+	sc.rows.reset()
+}
+
+// clearHists resets the per-step acceptance histograms of every node
+// binned since the last clear.
+func (sc *scratch) clearHists() {
+	for _, d := range sc.dirty {
+		clear(sc.hist[d*histCap : (d+1)*histCap])
+		sc.below[d] = -1
+	}
+	sc.dirty = sc.dirty[:0]
 }
 
 // NewEnumerator prepares path enumeration over tr.
@@ -237,19 +351,28 @@ type Result struct {
 	Exhausted bool
 }
 
-// Enumerate runs the Figure 3 dynamic program for one message.
-func (e *Enumerator) Enumerate(msg Message) (*Result, error) {
+// validateMessage checks a message against the enumerator's trace.
+// Enumeration itself cannot fail, so this is the only error source of
+// Enumerate and EnumerateAll.
+func (e *Enumerator) validateMessage(msg Message) error {
 	n := e.tr.NumNodes
 	if msg.Src < 0 || int(msg.Src) >= n || msg.Dst < 0 || int(msg.Dst) >= n {
-		return nil, fmt.Errorf("pathenum: message endpoints (%d,%d) out of range [0,%d)", msg.Src, msg.Dst, n)
+		return fmt.Errorf("pathenum: message endpoints (%d,%d) out of range [0,%d)", msg.Src, msg.Dst, n)
 	}
 	if msg.Src == msg.Dst {
-		return nil, fmt.Errorf("pathenum: source equals destination (%d)", msg.Src)
+		return fmt.Errorf("pathenum: source equals destination (%d)", msg.Src)
 	}
 	if msg.Start < 0 || msg.Start >= e.tr.Horizon {
-		return nil, fmt.Errorf("pathenum: start time %g outside [0,%g)", msg.Start, e.tr.Horizon)
+		return fmt.Errorf("pathenum: start time %g outside [0,%g)", msg.Start, e.tr.Horizon)
 	}
+	return nil
+}
 
+// Enumerate runs the Figure 3 dynamic program for one message.
+func (e *Enumerator) Enumerate(msg Message) (*Result, error) {
+	if err := e.validateMessage(msg); err != nil {
+		return nil, err
+	}
 	sc := e.getScratch()
 	res := e.run(sc, msg)
 	// The arrival chains live in the scratch's arena as index-linked
@@ -265,100 +388,170 @@ func (e *Enumerator) Enumerate(msg Message) (*Result, error) {
 // them into res before releasing sc.
 func (e *Enumerator) run(sc *scratch, msg Message) *Result {
 	sc.prepare()
-	n := e.tr.NumNodes
-
 	res := &Result{Msg: msg, Delta: e.g.Delta}
-	table := sc.table
 	s0 := e.g.StepOf(msg.Start)
-	table[msg.Src] = append(table[msg.Src], entry{idx: sc.arena.source(msg.Src, s0)})
-
-	cands := sc.cands
-	thresh := sc.thresh
-
+	e.seed(sc, msg.Src, s0)
 	for s := s0; s < e.g.Steps; s++ {
-		v := e.g.View(s)
-		// Compute, for each node with contacts, the largest resident
-		// hop count that could still contribute this step: a path p at
-		// node i can only matter if some reachable node v could accept
-		// an extension (its table has room or holds a longer path) at
-		// hop count p.Hops + dist(i, v), or if the destination is in
-		// i's component. Everything above the threshold is skipped
-		// wholesale — this keeps the saturated steady state (every
-		// table full of short paths) cheap between explosion onset and
-		// trace end.
-		e.computeThresholds(sc, v, msg.Dst, table, thresh)
-
-		// Phase 1: extend every resident path through the zero-weight
-		// closure of this step, collecting candidates and arrivals.
-		for i := 0; i < n; i++ {
-			paths := table[i]
-			if len(paths) == 0 || thresh[i] == skipAll {
-				continue
-			}
-			bound := thresh[i]
-			for _, p := range paths {
-				// Tables are sorted by hop count: once one resident
-				// path is bounded out, the rest are too.
-				if int(p.hops) >= bound {
-					break
-				}
-				e.extendBFS(sc, v, msg.Dst, p, s, table, cands, thresh)
-				if len(sc.arrivals) >= e.opt.MaxArrivals {
-					res.Exhausted = true
-					return res
-				}
-			}
-		}
-
-		// Phase 2: merge candidates into the per-node tables, keeping
-		// the TableWidth shortest (by hop count; existing paths win
-		// ties, preserving shorter durations).
-		for i := 0; i < n; i++ {
-			if len(cands[i]) > 0 {
-				table[i] = e.mergeShortest(sc, table[i], cands[i])
-				cands[i] = cands[i][:0]
-			}
-		}
-
-		// Phase 3: first preference. Every node in direct contact with
-		// the destination this step has just delivered; any table path
-		// containing such a node could only deliver strictly later and
-		// is invalid (§4.1).
-		if dn := v.Neighbors(msg.Dst); len(dn) > 0 {
-			var delivered nodeSet
-			if e.wide {
-				sc.markEpoch++
-				for _, d := range dn {
-					sc.mark[d] = sc.markEpoch
-				}
-			} else {
-				for _, d := range dn {
-					delivered = delivered.with(d)
-				}
-			}
-			alive := false
-			for i := 0; i < n; i++ {
-				if e.wide {
-					table[i] = pruneContainingWide(&sc.arena, table[i], sc.mark, sc.markEpoch)
-				} else {
-					table[i] = pruneContaining(&sc.arena, table[i], delivered)
-				}
-				alive = alive || len(table[i]) > 0
-			}
-			if !alive {
-				// Every surviving path contained a node that met the
-				// destination (e.g. the source itself); no further
-				// valid path can exist.
-				return res
-			}
-		}
-
-		if len(sc.arrivals) >= e.opt.K {
-			res.Exhausted = true
+		if e.step(sc, s, msg.Dst, res) {
 			return res
 		}
 	}
 	return res
+}
+
+// seed installs the zero-hop source tuple into the table.
+func (e *Enumerator) seed(sc *scratch, src trace.NodeID, s0 int) {
+	row := int32(0)
+	if e.wide {
+		row = sc.rows.alloc()
+		sc.rows.set(row, src)
+	}
+	sc.table[src] = append(sc.table[src], entry{idx: sc.arena.source(src, s0), row: row})
+	sc.bound[src] = boundOf(sc.table[src], e.opt.TableWidth)
+	sc.stamp[src] = int32(s0) - 1
+}
+
+// step runs one step of the dynamic program. A negative dst runs the
+// step destination-free — no arrivals, thresholds, pruning or stop
+// rules involve the destination, exactly as if it had no contacts —
+// which is how batch enumeration advances the prefix shared by a
+// (src, start) group before each destination becomes active. It
+// reports whether enumeration is finished (arrival budget met or every
+// path invalidated).
+func (e *Enumerator) step(sc *scratch, s int, dst trace.NodeID, res *Result) bool {
+	n := e.tr.NumNodes
+	v := e.g.View(s)
+	table, cands, thresh := sc.table, sc.cands, sc.thresh
+
+	// Compute, for each node with contacts, the largest resident
+	// hop count that could still contribute this step: a path p at
+	// node i can only matter if some reachable node v could accept
+	// an extension (its table has room or holds a longer path) at
+	// hop count p.Hops + dist(i, v), or if the destination is in
+	// i's component. Everything above the threshold is skipped
+	// wholesale — this keeps the saturated steady state (every
+	// table full of short paths) cheap between explosion onset and
+	// trace end.
+	e.computeThresholds(sc, v, dst, s, thresh)
+
+	// The destination component's roots always run (delivery bypasses
+	// tables), but once a root has delivered, its BFS is only worth
+	// expanding where a descendant could still be accepted. dstMax —
+	// the loosest acceptance bound in the component at step start —
+	// prunes that expansion exactly: a child whose children would all
+	// arrive at or beyond every member's bound cannot seed an accept.
+	dstComp := -1
+	dstMax := int32(0)
+	if dst >= 0 {
+		dstComp = v.ComponentOf(dst)
+		if dstComp >= 0 {
+			for _, x := range v.Members(dstComp) {
+				if b := sc.bound[x]; b > dstMax {
+					dstMax = b
+				}
+			}
+		}
+	}
+
+	// Phase 1: extend every resident path through the zero-weight
+	// closure of this step, collecting candidates and arrivals. Each
+	// node's threshold is recomputed just in time from the live
+	// acceptance bounds, so nodes processed later in the sweep skip
+	// roots whose candidates the bounds — tightened by earlier
+	// accepts — would reject anyway.
+	for i := 0; i < n; i++ {
+		paths := table[i]
+		if len(paths) == 0 || thresh[i] == skipAll {
+			continue
+		}
+		bound := thresh[i]
+		mustDeliver := bound == extendAll && dstComp >= 0 && v.ComponentOf(trace.NodeID(i)) == dstComp
+		if bound != extendAll {
+			bound = e.jitThresh(sc, v, i)
+			thresh[i] = bound
+		}
+		for _, p := range paths {
+			// Tables are sorted by hop count: once one resident
+			// path is bounded out, the rest are too.
+			if p.hops >= bound {
+				break
+			}
+			e.extendBFS(sc, v, dst, p, trace.NodeID(i), s, cands, thresh, mustDeliver, dstMax)
+			if len(sc.arrivals) >= e.opt.MaxArrivals {
+				res.Exhausted = true
+				return true
+			}
+		}
+	}
+
+	// Phase 2: merge candidates into the per-node tables, keeping
+	// the TableWidth shortest (by hop count; existing paths win
+	// ties, preserving shorter durations), and restore each merged
+	// node's acceptance bound to its new static table cap.
+	width := e.opt.TableWidth
+	for i := 0; i < n; i++ {
+		if len(cands[i]) > 0 {
+			table[i] = e.mergeShortest(sc, table[i], cands[i])
+			cands[i] = cands[i][:0]
+			sc.bound[i] = boundOf(table[i], width)
+			sc.stamp[i] = int32(s)
+		}
+	}
+	sc.clearHists()
+
+	if dst < 0 {
+		return false
+	}
+
+	// Phase 3: first preference. Every node in direct contact with
+	// the destination this step has just delivered; any table path
+	// containing such a node could only deliver strictly later and
+	// is invalid (§4.1).
+	if dn := v.Neighbors(dst); len(dn) > 0 {
+		var delivered nodeSet
+		if e.wide {
+			clear(sc.deliveredBits)
+			for _, d := range dn {
+				sc.deliveredBits[d>>6] |= 1 << (uint(d) & 63)
+			}
+			sc.deliveredIdx = sc.deliveredIdx[:0]
+			for w, bits := range sc.deliveredBits {
+				if bits != 0 {
+					sc.deliveredIdx = append(sc.deliveredIdx, int32(w))
+				}
+			}
+		} else {
+			for _, d := range dn {
+				delivered = delivered.with(d)
+			}
+		}
+		alive := false
+		for i := 0; i < n; i++ {
+			before := len(table[i])
+			if e.wide {
+				table[i] = pruneRows(&sc.rows, table[i], sc.deliveredBits, sc.deliveredIdx)
+			} else {
+				table[i] = pruneContaining(&sc.arena, table[i], delivered)
+			}
+			if len(table[i]) != before {
+				sc.bound[i] = boundOf(table[i], width)
+				sc.stamp[i] = int32(s)
+			}
+			alive = alive || len(table[i]) > 0
+		}
+		if !alive {
+			// Every surviving path contained a node that met the
+			// destination (e.g. the source itself); no further
+			// valid path can exist.
+			return true
+		}
+	}
+
+	if len(sc.arrivals) >= e.opt.K {
+		res.Exhausted = true
+		return true
+	}
+	return false
 }
 
 // materializeArrivals converts the arrival handles into public Path
@@ -401,56 +594,124 @@ func materializeArrivals(sc *scratch, res *Result) {
 	}
 }
 
-// EnumerateAll enumerates a batch of messages concurrently over the
-// shared space-time graph, using up to Options.Workers goroutines
-// (zero means runtime.GOMAXPROCS(0); 1 forces a serial batch).
-//
-// Results are returned in message order and are identical for every
-// worker count: each message's enumeration is an independent dynamic
-// program over the immutable graph with private scratch state. On
-// failure EnumerateAll reports the error of the lowest-index invalid
-// message — exactly what a serial loop would have hit first.
-func (e *Enumerator) EnumerateAll(msgs []Message) ([]*Result, error) {
-	out := make([]*Result, len(msgs))
-	err := engine.MapErr(e.opt.Workers, len(msgs), func(i int) error {
-		r, err := e.Enumerate(msgs[i])
-		if err != nil {
-			return fmt.Errorf("message %d: %w", i, err)
-		}
-		out[i] = r
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return out, nil
-}
-
 // Sentinel thresholds: skipAll marks nodes whose paths cannot
 // contribute at all this step (no contacts); extendAll marks nodes in
 // the destination's component, whose paths always extend (arrivals).
+// Both compare correctly under the uniform `hops < thresh` test, since
+// hop counts are bounded far below boundInf.
 const (
-	skipAll   = -1 << 30
-	extendAll = int(^uint(0) >> 1)
+	skipAll   = int32(-1) << 30
+	extendAll = boundInf
+
+	// boundInf is the acceptance bound of a table with room: any
+	// candidate is accepted.
+	boundInf = int32(1) << 30
+
+	// histCap bounds the hop counts the acceptance histograms track.
+	// Candidates at or above it skip the bookkeeping entirely, leaving
+	// the bound looser than exact — a safe over-accept the merge
+	// corrects — but paths that long are virtually nonexistent (hop
+	// counts are capped by the loop-freedom invariant and in practice
+	// by component diameters).
+	histCap = int32(128)
 )
+
+// boundOf returns the static acceptance bound of a table: the hop
+// count of its worst entry when full, boundInf while it has room.
+func boundOf(t []entry, width int) int32 {
+	if len(t) < width {
+		return boundInf
+	}
+	return t[len(t)-1].hops
+}
+
+// binExisting initializes node nb's acceptance histogram from its
+// existing table plus the candidates already accepted this step (the
+// current one included — noteAccept appends to cands first). Entries at
+// or beyond histCap stay untracked: below then undercounts, which only
+// delays tightening (over-accept, never over-reject).
+func (sc *scratch) binExisting(nb trace.NodeID) {
+	base := int32(nb) * histCap
+	b := sc.bound[nb]
+	cnt := int32(0)
+	for _, en := range sc.table[nb] {
+		if en.hops < histCap {
+			sc.hist[base+en.hops]++
+			if en.hops < b {
+				cnt++
+			}
+		}
+	}
+	for _, en := range sc.cands[nb] {
+		if en.hops < histCap {
+			sc.hist[base+en.hops]++
+			if en.hops < b {
+				cnt++
+			}
+		}
+	}
+	sc.below[nb] = cnt
+	sc.dirty = append(sc.dirty, int32(nb))
+}
+
+// noteAccept records an accepted candidate at node nb and tightens the
+// node's acceptance bound when the count of tracked elements below it
+// reaches the table width: the bound walks down to the largest
+// occupied histogram bucket, which is exactly the new width-th
+// smallest hop count. While the table and the step's accepts together
+// hold fewer than width elements no tightening is possible (the
+// width-th smallest does not exist, the bound stays boundInf), so the
+// histogram stays cold until the count first crosses width — which
+// skips the binning entirely for the long pre-saturation phase.
+func (sc *scratch) noteAccept(nb trace.NodeID, h, width int32) {
+	if sc.below[nb] < 0 {
+		if int32(len(sc.table[nb])+len(sc.cands[nb])) < width {
+			return
+		}
+		sc.binExisting(nb)
+	} else {
+		if h >= histCap {
+			return
+		}
+		base := int32(nb) * histCap
+		sc.hist[base+h]++
+		sc.below[nb]++
+	}
+	if sc.below[nb] >= width {
+		base := int32(nb) * histCap
+		b := sc.bound[nb]
+		if b > histCap {
+			b = histCap
+		}
+		for b--; sc.hist[base+b] == 0; b-- {
+		}
+		sc.below[nb] -= sc.hist[base+b]
+		sc.bound[nb] = b
+	}
+}
 
 // computeThresholds fills thresh[i] with the strict upper bound on the
 // hop count of resident paths at node i worth extending at step s: a
 // path p contributes only if some node v in i's component could accept
-// a table insertion at p.Hops + dist(i, v) hops. cap(v) is the hop
-// count of v's worst table entry (unbounded when the table has room);
-// the threshold is max over v of cap(v) − dist(i, v). Nodes in the
-// destination's component always extend (deliveries bypass tables).
+// a table insertion at p.Hops + dist(i, v) hops. The per-node caps are
+// read straight from the maintained acceptance bounds — at a step
+// boundary bound[v] is exactly the hop count of v's worst table entry
+// (boundInf when the table has room) — and the threshold is max over v
+// of bound(v) − dist(i, v). Nodes in the destination's component
+// always extend (deliveries bypass tables).
 //
 // The component member lists and pairwise hop distances come straight
 // from the graph's step index — the pre-index implementation re-ran
 // one BFS (with a heap-allocated depth map) per member, per step, per
 // message to derive the same numbers.
-func (e *Enumerator) computeThresholds(sc *scratch, v stgraph.View, dst trace.NodeID, table [][]entry, thresh []int) {
+func (e *Enumerator) computeThresholds(sc *scratch, v stgraph.View, dst trace.NodeID, s int, thresh []int32) {
 	for i := range thresh {
 		thresh[i] = skipAll
 	}
-	dstComp := v.ComponentOf(dst)
+	dstComp := -1
+	if dst >= 0 {
+		dstComp = v.ComponentOf(dst)
+	}
 	for c := 0; c < v.NumComponents(); c++ {
 		members := v.Members(c)
 		if c == dstComp {
@@ -459,14 +720,32 @@ func (e *Enumerator) computeThresholds(sc *scratch, v stgraph.View, dst trace.No
 			}
 			continue
 		}
+		// Static-component skip: if the component carried over from
+		// the previous step unchanged and none of its members'
+		// tables changed during that step, this step would reproduce
+		// the previous step's candidate set exactly — and every one
+		// of those candidates was dropped (a kept candidate would
+		// have stamped its table). Leaving thresh at skipAll elides
+		// the whole component: no roots, no scans, no accepts.
+		if v.SameAsPrev(c) {
+			stable := true
+			for _, x := range members {
+				if sc.stamp[x] >= int32(s)-1 {
+					stable = false
+					break
+				}
+			}
+			if stable {
+				continue
+			}
+		}
 		// cap per member, and how many members still have table room.
 		caps := sc.caps[:0]
 		room := 0
 		for _, x := range members {
-			if t := table[x]; len(t) >= e.opt.TableWidth {
-				caps = append(caps, int(t[len(t)-1].hops))
-			} else {
-				caps = append(caps, extendAll)
+			b := sc.bound[x]
+			caps = append(caps, b)
+			if b >= boundInf {
 				room++
 			}
 		}
@@ -474,7 +753,7 @@ func (e *Enumerator) computeThresholds(sc *scratch, v stgraph.View, dst trace.No
 		m := len(members)
 		for j, x := range members {
 			othersRoom := room
-			if caps[j] == extendAll {
+			if caps[j] >= boundInf {
 				othersRoom--
 			}
 			if othersRoom > 0 {
@@ -488,7 +767,7 @@ func (e *Enumerator) computeThresholds(sc *scratch, v stgraph.View, dst trace.No
 				if k == j {
 					continue
 				}
-				if b := caps[k] - v.Dist(c, j, k); b > best {
+				if b := caps[k] - int32(v.Dist(c, j, k)); b > best {
 					best = b
 				}
 			}
@@ -497,46 +776,73 @@ func (e *Enumerator) computeThresholds(sc *scratch, v stgraph.View, dst trace.No
 	}
 }
 
+// jitThresh recomputes node i's extension threshold from the current
+// (step-tightened) acceptance bounds, just before its resident paths
+// root their BFS runs. Bounds only tighten during a step, so the
+// returned threshold is never looser than the step-start value and
+// never tighter than what the final tables justify: a root it skips
+// could only have produced candidates every acceptance test would
+// reject anyway. Called only for nodes with contacts outside the
+// destination's component (thresh neither skipAll nor extendAll).
+func (e *Enumerator) jitThresh(sc *scratch, v stgraph.View, i int) int32 {
+	c := v.ComponentOf(trace.NodeID(i))
+	members := v.Members(c)
+	j := v.MemberIndex(trace.NodeID(i))
+	best := skipAll
+	for k, x := range members {
+		if k == j {
+			continue
+		}
+		b := sc.bound[x]
+		if b >= boundInf {
+			return extendAll
+		}
+		if t := b - int32(v.Dist(c, j, k)); t > best {
+			best = t
+		}
+	}
+	return best
+}
+
 // extendBFS extends path p (resident at p's final node) through the
 // zero-weight closure at step s. Newly reached nodes become candidate
-// table entries; reaching the destination records an arrival. A child
-// path is only materialized when its target table accepts it or a
-// deeper acceptance is still possible under the per-node thresholds —
-// hopeless subtrees cost no arena slot. The BFS queue is the scratch's
+// table entries; reaching the destination records an arrival. Transit
+// nodes — reached only to search deeper — stay unmaterialized bfsNode
+// slots; an arena chain is allocated only when a table accepts a child
+// or a delivery happens, so the (dominant) hopeless share of the
+// frontier costs no arena traffic at all. The queue is the scratch's
 // ring buffer: a head index walks it in place instead of reslicing the
 // front away (which would leak capacity and force regrowth).
-func (e *Enumerator) extendBFS(sc *scratch, v stgraph.View, dst trace.NodeID, p entry, s int, table, cands [][]entry, thresh []int) {
+func (e *Enumerator) extendBFS(sc *scratch, v stgraph.View, dst trace.NodeID, p entry, rootNode trace.NodeID, s int, cands [][]entry, thresh []int32, mustDeliver bool, dstMax int32) {
 	sc.epoch++
 	epoch := sc.epoch
 	a := &sc.arena
 	wide := e.wide
+	width := int32(e.opt.TableWidth)
+	bound := sc.bound
 	var rootMembers nodeSet
-	var rootEpoch int
+	var rootRow []uint64
+	rootRowH := int32(0)
 	if wide {
-		// Materialize the root path's member set into epoch-marked
-		// scratch by one parent-chain walk; the per-neighbor check
-		// below is then O(1), exactly like the bitset path.
-		sc.markEpoch++
-		rootEpoch = sc.markEpoch
-		for cur := p.idx; cur >= 0; cur = a.at(cur).parent {
-			sc.mark[a.at(cur).node] = rootEpoch
-		}
+		// The root is a table entry; caching its membership bitset row
+		// makes the per-neighbor check below one word-indexed bit
+		// test, exactly like the narrow bitset path.
+		rootRowH = p.row
+		rootRow = sc.rows.row(rootRowH)
 	} else {
 		rootMembers = a.at(p.idx).members
 	}
-	sc.visited[a.at(p.idx).node] = epoch
-	queue := append(sc.queue[:0], p)
+	sc.visited[rootNode] = epoch
+	sc.bqueue = append(sc.bqueue[:0], bfsNode{idx: p.idx, par: -1, node: int32(rootNode), hops: p.hops})
 	delivered := false
-	for head := 0; head < len(queue); head++ {
-		q := queue[head]
-		qn := a.at(q.idx)
-		qNode := trace.NodeID(qn.node)
-		qMembers := qn.members
-		for _, nb := range v.Neighbors(qNode) {
+	for head := 0; head < len(sc.bqueue); head++ {
+		q := sc.bqueue[head]
+		for _, nb := range v.Neighbors(trace.NodeID(q.node)) {
 			if nb == dst {
 				if !delivered {
 					delivered = true
-					sc.arrivals = append(sc.arrivals, a.extend(q.idx, qMembers, q.hops, dst, s))
+					qi := sc.materialize(int32(head), s)
+					sc.arrivals = append(sc.arrivals, a.extend(qi, a.at(qi).members, q.hops, dst, s))
 				}
 				continue
 			}
@@ -544,7 +850,7 @@ func (e *Enumerator) extendBFS(sc *scratch, v stgraph.View, dst trace.NodeID, p 
 				continue
 			}
 			if wide {
-				if sc.mark[nb] == rootEpoch {
+				if rootRow[nb>>6]&(1<<(uint(nb)&63)) != 0 {
 					continue
 				}
 			} else if rootMembers.has(nb) {
@@ -552,36 +858,73 @@ func (e *Enumerator) extendBFS(sc *scratch, v stgraph.View, dst trace.NodeID, p 
 			}
 			sc.visited[nb] = epoch
 			childHops := q.hops + 1
-			// The merge keeps existing paths on hop ties, so a full
-			// table only accepts strictly shorter candidates.
-			t := table[nb]
-			accept := len(t) < e.opt.TableWidth || t[len(t)-1].hops > childHops
-			deeper := thresh[nb] == extendAll || thresh[nb] > int(childHops)
+			// bound[nb] already accounts for this step's earlier
+			// accepts, so the test is exact: a candidate at or above
+			// it is precisely one the merge would drop.
+			accept := childHops < bound[nb]
+			deeper := childHops < thresh[nb]
 			if !accept && !deeper {
 				continue
 			}
-			child := entry{idx: a.extend(q.idx, qMembers, q.hops, nb, s), hops: childHops}
+			childIdx := int32(-1)
 			if accept {
-				cands[nb] = append(cands[nb], child)
+				qi := sc.materialize(int32(head), s)
+				childIdx = a.extend(qi, a.at(qi).members, q.hops, nb, s)
+				row := int32(0)
+				if wide {
+					// The candidate owns its row from birth: the
+					// root's row (hot in cache) copied, with the child
+					// and the step's branch nodes — read off the hot
+					// BFS queue chain, never the arena — OR-ed in. The
+					// chain ends at the root slot, whose bit the copy
+					// already holds; re-setting it is harmless.
+					row = sc.rows.allocCopy(rootRowH)
+					rw := sc.rows.row(row)
+					rw[nb>>6] |= 1 << (uint(nb) & 63)
+					for slot := int32(head); slot >= 0; slot = sc.bqueue[slot].par {
+						nd := sc.bqueue[slot].node
+						rw[nd>>6] |= 1 << (uint(nd) & 63)
+					}
+				}
+				cands[nb] = append(cands[nb], entry{idx: childIdx, hops: childHops, row: row})
+				sc.noteAccept(nb, childHops, width)
 			}
 			if deeper {
-				queue = append(queue, child)
+				// Once this root has delivered, the only reason to go
+				// deeper is a future accept; a grandchild at any node v
+				// would carry childHops+1 >= dstMax >= bound[v] hops and
+				// be rejected, so the subtree is pruned exactly.
+				if mustDeliver && delivered && childHops+1 >= dstMax {
+					continue
+				}
+				sc.bqueue = append(sc.bqueue, bfsNode{idx: childIdx, par: int32(head), node: int32(nb), hops: childHops})
 			}
 		}
 	}
-	sc.queue = queue[:0]
+	sc.bqueue = sc.bqueue[:0]
 }
 
 // mergeShortest merges existing (sorted by hops) with cands (creation
 // order) keeping the width shortest by hop count; existing paths win
-// ties. The merge runs through a reused scratch buffer and writes back
-// into existing's storage, so a node's table allocates at most once.
+// ties. Existing entries at or below the first candidate's hop count
+// precede every candidate in the merged order, so that prefix keeps
+// its slots untouched and only the overlapping tail runs through the
+// reused scratch buffer — in the saturated steady state candidates
+// land near the table's end and the copy shrinks to a few entries. In
+// wide mode the rows of dropped entries — a suffix of each input,
+// since both are consumed in order — are recycled immediately: every
+// entry owns its row exclusively.
 func (e *Enumerator) mergeShortest(sc *scratch, existing, cands []entry) []entry {
 	width := e.opt.TableWidth
 	sc.sortByHops(cands)
+	p := len(existing)
+	c0 := cands[0].hops
+	for p > 0 && existing[p-1].hops > c0 {
+		p--
+	}
 	buf := sc.mergeBuf[:0]
-	i, j := 0, 0
-	for len(buf) < width && (i < len(existing) || j < len(cands)) {
+	i, j := p, 0
+	for len(buf) < width-p && (i < len(existing) || j < len(cands)) {
 		if j >= len(cands) || (i < len(existing) && existing[i].hops <= cands[j].hops) {
 			buf = append(buf, existing[i])
 			i++
@@ -591,7 +934,15 @@ func (e *Enumerator) mergeShortest(sc *scratch, existing, cands []entry) []entry
 		}
 	}
 	sc.mergeBuf = buf
-	existing = append(existing[:0], buf...)
+	if e.wide {
+		for k := i; k < len(existing); k++ {
+			sc.rows.freeRow(existing[k].row)
+		}
+		for k := j; k < len(cands); k++ {
+			sc.rows.freeRow(cands[k].row)
+		}
+	}
+	existing = append(existing[:p], buf...)
 	return existing
 }
 
@@ -651,24 +1002,22 @@ func pruneContaining(a *pathArena, paths []entry, delivered nodeSet) []entry {
 	return out
 }
 
-// pruneContainingWide is pruneContaining for wide populations: the
-// delivered set lives in epoch-marked scratch and membership is
-// resolved by walking each path's parent chain.
-func pruneContainingWide(a *pathArena, paths []entry, mark []int, epoch int) []entry {
+// pruneRows is pruneContaining for wide populations: each entry's
+// membership bitset row is AND-tested against the delivered bitset's
+// nonzero words only (their indexes in idx), and pruned entries
+// recycle their rows.
+func pruneRows(rows *rowArena, paths []entry, delivered []uint64, idx []int32) []entry {
 	out := paths[:0]
+scan:
 	for _, p := range paths {
-		keep := true
-		for cur := p.idx; cur >= 0; {
-			pn := a.at(cur)
-			if mark[pn.node] == epoch {
-				keep = false
-				break
+		row := rows.row(p.row)
+		for _, w := range idx {
+			if row[w]&delivered[w] != 0 {
+				rows.freeRow(p.row)
+				continue scan
 			}
-			cur = pn.parent
 		}
-		if keep {
-			out = append(out, p)
-		}
+		out = append(out, p)
 	}
 	return out
 }

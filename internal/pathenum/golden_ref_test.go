@@ -90,6 +90,13 @@ type refEnumerator struct {
 	g   *refGraph
 	opt Options
 
+	// chains switches path-membership queries from the nodeSet bitsets
+	// (which cap out at maxNodes) to walks of the public parent chain.
+	// It turns the reference into an implementation-independent check
+	// of wide mode: the enumerator under test resolves membership
+	// through its bitset rows, the reference through the chains.
+	chains bool
+
 	visited  []int
 	epoch    int
 	mergeBuf []*Path
@@ -101,8 +108,44 @@ func newRefEnumerator(tr *trace.Trace, opt Options) *refEnumerator {
 		tr:      tr,
 		g:       refNewGraph(tr, opt.Delta),
 		opt:     opt,
+		chains:  tr.NumNodes > maxNodes,
 		visited: make([]int, tr.NumNodes),
 	}
+}
+
+// pathHas reports whether node n is on path p, via the mode-appropriate
+// membership mechanism.
+func (e *refEnumerator) pathHas(p *Path, n trace.NodeID) bool {
+	if e.chains {
+		return p.Contains(n)
+	}
+	return p.members.has(n)
+}
+
+// prune removes table paths containing a delivered node. dn and
+// delivered describe the same set; chain mode walks parent chains
+// against dn, bitset mode intersects nodeSets.
+func (e *refEnumerator) prune(paths []*Path, dn []trace.NodeID, delivered nodeSet) []*Path {
+	if !e.chains {
+		return refPruneContaining(paths, delivered)
+	}
+	out := paths[:0]
+	for _, p := range paths {
+		hit := false
+		for _, d := range dn {
+			if p.Contains(d) {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			out = append(out, p)
+		}
+	}
+	for i := len(out); i < len(paths); i++ {
+		paths[i] = nil
+	}
+	return out
 }
 
 func (e *refEnumerator) enumerate(msg Message) *Result {
@@ -120,7 +163,7 @@ func (e *refEnumerator) enumerate(msg Message) *Result {
 		e.computeThresholds(s, msg.Dst, table, thresh)
 		for i := 0; i < n; i++ {
 			paths := table[i]
-			if len(paths) == 0 || thresh[i] == skipAll {
+			if len(paths) == 0 || thresh[i] == int(skipAll) {
 				continue
 			}
 			bound := thresh[i]
@@ -148,7 +191,7 @@ func (e *refEnumerator) enumerate(msg Message) *Result {
 			}
 			alive := false
 			for i := 0; i < n; i++ {
-				table[i] = refPruneContaining(table[i], delivered)
+				table[i] = e.prune(table[i], dn, delivered)
 				alive = alive || len(table[i]) > 0
 			}
 			if !alive {
@@ -165,16 +208,16 @@ func (e *refEnumerator) enumerate(msg Message) *Result {
 
 func (e *refEnumerator) computeThresholds(s int, dst trace.NodeID, table [][]*Path, thresh []int) {
 	for i := range thresh {
-		thresh[i] = skipAll
+		thresh[i] = int(skipAll)
 	}
 	var comp, queue []trace.NodeID
 	for start := 0; start < len(thresh); start++ {
-		if thresh[start] != skipAll || len(e.g.adj[s][start]) == 0 {
+		if thresh[start] != int(skipAll) || len(e.g.adj[s][start]) == 0 {
 			continue
 		}
 		comp = comp[:0]
 		queue = append(queue[:0], trace.NodeID(start))
-		thresh[start] = skipAll + 1
+		thresh[start] = int(skipAll) + 1
 		hasDst := false
 		for len(queue) > 0 {
 			cur := queue[0]
@@ -184,21 +227,21 @@ func (e *refEnumerator) computeThresholds(s int, dst trace.NodeID, table [][]*Pa
 				hasDst = true
 			}
 			for _, nb := range e.g.adj[s][cur] {
-				if thresh[nb] == skipAll {
-					thresh[nb] = skipAll + 1
+				if thresh[nb] == int(skipAll) {
+					thresh[nb] = int(skipAll) + 1
 					queue = append(queue, nb)
 				}
 			}
 		}
 		if hasDst {
 			for _, v := range comp {
-				thresh[v] = extendAll
+				thresh[v] = int(extendAll)
 			}
 			continue
 		}
 		for _, src := range comp {
 			queue = append(queue[:0], src)
-			best := skipAll
+			best := int(skipAll)
 			depth := make(map[trace.NodeID]int, len(comp))
 			depth[src] = 0
 			for len(queue) > 0 {
@@ -206,12 +249,12 @@ func (e *refEnumerator) computeThresholds(s int, dst trace.NodeID, table [][]*Pa
 				queue = queue[1:]
 				d := depth[cur]
 				if cur != src {
-					capacity := extendAll
+					capacity := int(extendAll)
 					if t := table[cur]; len(t) >= e.opt.TableWidth {
 						capacity = t[len(t)-1].Hops
 					}
-					if capacity == extendAll {
-						best = extendAll
+					if capacity == int(extendAll) {
+						best = int(extendAll)
 						break
 					}
 					if b := capacity - d; b > best {
@@ -248,14 +291,14 @@ func (e *refEnumerator) extendBFS(res *Result, p *Path, s int, queue []*Path, ta
 				}
 				continue
 			}
-			if e.visited[nb] == epoch || p.members.has(nb) {
+			if e.visited[nb] == epoch || e.pathHas(p, nb) {
 				continue
 			}
 			e.visited[nb] = epoch
 			childHops := q.Hops + 1
 			t := table[nb]
 			accept := len(t) < e.opt.TableWidth || t[len(t)-1].Hops > childHops
-			deeper := thresh[nb] == extendAll || thresh[nb] > childHops
+			deeper := thresh[nb] == int(extendAll) || thresh[nb] > childHops
 			if !accept && !deeper {
 				continue
 			}

@@ -22,9 +22,9 @@ import (
 // covers; traces up to this size (the paper's have 98 nodes) track
 // path membership in nodeSet for O(1) loop avoidance and
 // first-preference pruning. Larger populations — the city-scale
-// datasets — run the same dynamic program in "wide" mode, where
-// membership queries walk the arena's parent chains against
-// epoch-marked scratch instead (see Enumerator.wide); their nodeSets
+// datasets — run the same dynamic program in "wide" mode, where each
+// table entry carries a full-width membership bitset row in a slab
+// arena instead (see Enumerator.wide and rowArena); their nodeSets
 // stay empty.
 const maxNodes = 128
 
@@ -168,6 +168,14 @@ type pnode struct {
 type pathArena struct {
 	chunks [][]pnode
 	n      int32 // pnodes allocated since the last reset
+
+	// Fork state (zero on pooled arenas): chunks[:shared] belong to the
+	// base arena and are read-only here; spare holds chunks this arena
+	// allocated under a previous forkFrom, recycled instead of dropped
+	// when the arena is re-forked for the next destination of a batch
+	// group.
+	shared int
+	spare  [][]pnode
 }
 
 // arenaShift sizes chunks at 1024 pnodes (32 KiB): well under typical
@@ -190,7 +198,12 @@ func (a *pathArena) at(i int32) *pnode {
 func (a *pathArena) alloc() (int32, *pnode) {
 	ci := int(a.n) >> arenaShift
 	if ci == len(a.chunks) {
-		a.chunks = append(a.chunks, make([]pnode, arenaChunk))
+		if k := len(a.spare); k > 0 {
+			a.chunks = append(a.chunks, a.spare[k-1])
+			a.spare = a.spare[:k-1]
+		} else {
+			a.chunks = append(a.chunks, make([]pnode, arenaChunk))
+		}
 	}
 	i := a.n
 	a.n++
@@ -217,6 +230,26 @@ func (a *pathArena) extend(q int32, qMembers nodeSet, qHops int32, n trace.NodeI
 		hops:    qHops + 1,
 	}
 	return i
+}
+
+// forkFrom turns a into a layered fork of base: base's chunks become a
+// shared read-only prefix — rounded up to a chunk boundary, so the
+// base can later resume filling its partial tail chunk without the two
+// ever writing the same slot — and a allocates its own chunks beyond
+// it. Handles issued by the base stay valid in the fork. Forks are
+// never reset or pooled, because their chunk table aliases the base's;
+// re-forking an existing fork recycles the chunks it had allocated
+// itself (its previous job's results are materialized by then) through
+// the spare list. Batch enumeration uses this to continue one shared
+// dynamic-program prefix independently per destination.
+func (a *pathArena) forkFrom(base *pathArena) {
+	if own := a.chunks[min(a.shared, len(a.chunks)):]; len(own) > 0 {
+		a.spare = append(a.spare, own...)
+	}
+	nChunks := (int(base.n) + arenaMask) >> arenaShift
+	a.chunks = append(a.chunks[:0], base.chunks[:nChunks]...)
+	a.n = int32(nChunks) << arenaShift
+	a.shared = nChunks
 }
 
 // arenaRetainChunks caps the chunks an arena keeps across calls

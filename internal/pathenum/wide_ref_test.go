@@ -1,0 +1,102 @@
+package pathenum
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/trace"
+)
+
+// randomWideTrace builds a random sparse trace over a population beyond
+// the nodeSet bitset capacity (n > maxNodes), dense enough in contacts
+// that multi-hop paths actually form.
+func randomWideTrace(rng *rand.Rand, n int, horizon float64) (*trace.Trace, error) {
+	var cs []trace.Contact
+	m := 120 + rng.Intn(180)
+	for i := 0; i < m; i++ {
+		a := trace.NodeID(rng.Intn(n))
+		b := trace.NodeID(rng.Intn(n))
+		if a == b {
+			continue
+		}
+		s := rng.Float64() * horizon * 0.9
+		e := s + rng.Float64()*horizon*0.2
+		if e > horizon {
+			e = horizon
+		}
+		cs = append(cs, trace.Contact{A: a, B: b, Start: s, End: e})
+	}
+	return trace.New("wide-rand", n, horizon, cs)
+}
+
+// TestWideModeMatchesChainReference pins wide mode — membership bitset
+// rows in a slab arena — byte-identical to the pre-index reference
+// enumerator resolving membership by walking public parent chains
+// (refEnumerator.chains; Path.Contains), over random traces with
+// populations above the 128-node bitset capacity, multiple seeds and
+// Delta settings. The two implementations share no membership
+// machinery, so agreement pins the rows' loop-avoidance and
+// first-preference pruning exactly.
+func TestWideModeMatchesChainReference(t *testing.T) {
+	cases := 14
+	if testing.Short() {
+		cases = 5
+	}
+	deltas := []float64{5, 10, 20}
+	for c := 0; c < cases; c++ {
+		seed := engine.DeriveSeed(20260808, c)
+		rng := rand.New(rand.NewSource(seed))
+		n := maxNodes + 1 + rng.Intn(72)
+		tr, err := randomWideTrace(rng, n, 500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := Options{Delta: deltas[rng.Intn(len(deltas))], K: 30 + rng.Intn(90)}
+		enum, err := NewEnumerator(tr, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !enum.wide {
+			t.Fatalf("case %d: %d nodes did not select wide mode", c, n)
+		}
+		msgs := sampleMessages(rng, tr, 3)
+		goldenCompare(t, tr, opt, msgs, "wide-chain")
+	}
+}
+
+// TestWideBatchMatchesChainReference runs the shared-prefix batch path
+// in wide mode (forked row arenas) against the chain-walking reference.
+func TestWideBatchMatchesChainReference(t *testing.T) {
+	cases := 6
+	if testing.Short() {
+		cases = 2
+	}
+	for c := 0; c < cases; c++ {
+		seed := engine.DeriveSeed(20260809, c)
+		rng := rand.New(rand.NewSource(seed))
+		tr, err := randomWideTrace(rng, maxNodes+1+rng.Intn(40), 500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt := Options{Delta: 10, K: 40 + rng.Intn(60)}
+		msgs := sharedPrefixBatch(rng, tr, 5)
+		batchCompare(t, tr, opt, msgs, "wide-batch")
+
+		enum, err := NewEnumerator(tr, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := newRefEnumerator(tr, opt)
+		results, err := enum.EnumerateAll(msgs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, m := range msgs {
+			want := ref.enumerate(m)
+			if gk, wk := resultKey(results[i]), resultKey(want); gk != wk {
+				t.Errorf("case %d message %d diverges from chain reference:\n got %q\nwant %q", c, i, gk, wk)
+			}
+		}
+	}
+}

@@ -217,6 +217,24 @@ func FromSnapshot(s *Snapshot) (*Graph, error) {
 			return nil, err
 		}
 	}
+	// The stable-component marks (View.SameAsPrev) are not part of the
+	// slab form: they are a pure function of the tables above, so the
+	// load recomputes them instead of trusting (and versioning) a
+	// serialized copy. Frames back contiguous step runs — the sweep
+	// reuses a frame only when a step repeats the immediately preceding
+	// pattern — so each frame's predecessor is the frame of the step
+	// before its first appearance.
+	framePrev := make([]int32, numFrames)
+	for f := range framePrev {
+		framePrev[f] = -1
+	}
+	for step := 1; step < len(s.StepFrame); step++ {
+		f := s.StepFrame[step]
+		if prev := s.StepFrame[step-1]; f != prev && framePrev[f] < 0 {
+			framePrev[f] = prev
+		}
+	}
+	markStableComponents(g, framePrev)
 	return g, nil
 }
 

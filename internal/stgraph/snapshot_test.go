@@ -50,6 +50,14 @@ func queriesEqual(t *testing.T, want, got *Graph) {
 			if !reflect.DeepEqual(wm, gm) {
 				t.Fatalf("step %d component %d: Members differ", s, c)
 			}
+			// The stable-component marks are recomputed on load, not
+			// serialized; a restored graph must answer SameAsPrev
+			// identically or enumeration's static-component skip
+			// diverges (or panics) on warm-started graphs.
+			if wv.SameAsPrev(c) != gv.SameAsPrev(c) {
+				t.Fatalf("step %d component %d: SameAsPrev = %v, want %v",
+					s, c, gv.SameAsPrev(c), wv.SameAsPrev(c))
+			}
 			for i := range wm {
 				for j := range wm {
 					if wv.Dist(c, i, j) != gv.Dist(c, i, j) {

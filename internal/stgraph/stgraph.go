@@ -92,6 +92,12 @@ type frame struct {
 	members    []trace.NodeID
 	compBounds []int32
 
+	// prevSame[c] reports that component c is identical — same member
+	// list, same adjacency rows, hence same distances — to a component
+	// of the frame backing the preceding step. Consumers use it to
+	// skip per-step work that cannot have changed across the boundary.
+	prevSame []bool
+
 	// distRef[c] locates component c's all-pairs hop-distance matrix
 	// (row-major over member indices; components are connected, so
 	// every entry is finite): a non-negative value is an offset into
@@ -134,7 +140,60 @@ func NewWorkers(tr *trace.Trace, delta float64, workers int) (*Graph, error) {
 	sw := newSweep(tr, delta, steps)
 	sw.run(g)
 	buildFrames(g, sw, tr.NumNodes, workers)
+	markStableComponents(g, sw.framePrev)
 	return g, nil
+}
+
+// markStableComponents fills each frame's prevSame marks by comparing
+// its components against the frame backing the preceding step:
+// identical member list and identical adjacency rows per member mean
+// the component — including its distance matrix, a pure function of
+// the adjacency — carried over unchanged. One sequential O(V+E) pass
+// over the emitted frames; rows and member lists are canonical
+// (first-contact order, BFS discovery order), so list equality is
+// subgraph equality.
+func markStableComponents(g *Graph, framePrev []int32) {
+	total := 0
+	for i := range g.frames {
+		total += len(g.frames[i].distRef)
+	}
+	slab := make([]bool, total)
+	off := 0
+	for i := range g.frames {
+		f := &g.frames[i]
+		nc := len(f.distRef)
+		f.prevSame = slab[off : off+nc]
+		off += nc
+		pf := framePrev[i]
+		if pf < 0 {
+			continue
+		}
+		prev := &g.frames[pf]
+		for c := 0; c < nc; c++ {
+			members := f.members[f.compBounds[c]:f.compBounds[c+1]]
+			if len(members) == 0 {
+				// Built graphs never emit empty components; a restored
+				// hostile snapshot can (FromSnapshot reruns this pass).
+				continue
+			}
+			c2 := int(prev.compID[members[0]]) - 1
+			if c2 < 0 {
+				continue
+			}
+			pm := prev.members[prev.compBounds[c2]:prev.compBounds[c2+1]]
+			if !slices.Equal(members, pm) {
+				continue
+			}
+			same := true
+			for _, m := range members {
+				if !slices.Equal(f.row(m), prev.row(m)) {
+					same = false
+					break
+				}
+			}
+			f.prevSame[c] = same
+		}
+	}
 }
 
 // sweep holds the event-sweep state of one build: per-contact step
@@ -191,6 +250,13 @@ type sweep struct {
 	pairSlab    []uint64
 	frameOff    []int32
 	frameActive []int32
+
+	// framePrev[f] is the frame backing the step just before frame
+	// f's first step (-1 for the frame of step 0). It feeds the
+	// stable-component pass: components identical to one in the
+	// preceding step are marked so consumers can skip re-deriving
+	// per-step state that provably cannot have changed.
+	framePrev []int32
 }
 
 // pairKey packs an unordered node pair as lo<<32 | hi.
@@ -441,13 +507,17 @@ func (sw *sweep) run(g *Graph) {
 			g.stepFrame[s] = g.stepFrame[s-1]
 			continue
 		}
+		prev := int32(-1)
+		if s > 0 {
+			prev = g.stepFrame[s-1]
+		}
 		if sw.live == 0 {
 			for _, slot := range sw.ord {
 				sw.slotPos[slot] = -1
 			}
 			sw.ord = sw.ord[:0]
 			if emptyFrame < 0 {
-				emptyFrame = sw.emitKeys(len(sw.pairSlab))
+				emptyFrame = sw.emitKeys(len(sw.pairSlab), prev)
 			}
 			g.stepFrame[s] = emptyFrame
 			prevKeys, prevValid = nil, true
@@ -476,18 +546,20 @@ func (sw *sweep) run(g *Graph) {
 			// prevKeys keeps pointing at the prior copy, still live.
 			continue
 		}
-		g.stepFrame[s] = sw.emitKeys(mark)
+		g.stepFrame[s] = sw.emitKeys(mark, prev)
 		prevKeys, prevValid = keys, true
 	}
 	sw.frameOff = append(sw.frameOff, int32(len(sw.pairSlab)))
 }
 
 // emitKeys emits the frame whose keys start at pairSlab[mark],
-// recording the current active-node count.
-func (sw *sweep) emitKeys(mark int) int32 {
+// recording the current active-node count and the frame backing the
+// preceding step.
+func (sw *sweep) emitKeys(mark int, prev int32) int32 {
 	id := int32(len(sw.frameOff))
 	sw.frameOff = append(sw.frameOff, int32(mark))
 	sw.frameActive = append(sw.frameActive, sw.activeNodes)
+	sw.framePrev = append(sw.framePrev, prev)
 	return id
 }
 
@@ -845,11 +917,23 @@ func (g *Graph) EdgeCount(s int) int {
 
 // View exposes step s's precomputed contact-component index.
 type View struct {
-	f *frame
+	f        *frame
+	samePrev bool // step shares the previous step's frame outright
 }
 
 // View returns the component index of step s.
-func (g *Graph) View(s int) View { return View{f: g.frameAt(s)} }
+func (g *Graph) View(s int) View {
+	return View{
+		f:        g.frameAt(s),
+		samePrev: s > 0 && g.stepFrame[s] == g.stepFrame[s-1],
+	}
+}
+
+// SameAsPrev reports whether component c is identical — members,
+// adjacency, distances — to a component of the previous step. The
+// previous step then assigns the same component index to every
+// member.
+func (v View) SameAsPrev(c int) bool { return v.samePrev || v.f.prevSame[c] }
 
 // Neighbors returns the nodes in contact with x, in first-contact
 // order. The returned slice is shared and must not be modified.

@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 )
 
@@ -96,11 +97,23 @@ func New(name string, numNodes int, horizon float64, contacts []Contact) (*Trace
 				ErrInvalid, i, c.Start, c.End, horizon)
 		}
 	}
-	sort.SliceStable(cs, func(i, j int) bool {
-		if cs[i].Start != cs[j].Start {
-			return cs[i].Start < cs[j].Start
+	// slices.SortStableFunc: same stable (Start, End) order as the
+	// reflection-based sort.SliceStable it replaced, at a fraction of
+	// the cost — city-scale generation sorts ≥1M contacts.
+	slices.SortStableFunc(cs, func(a, b Contact) int {
+		if a.Start != b.Start {
+			if a.Start < b.Start {
+				return -1
+			}
+			return 1
 		}
-		return cs[i].End < cs[j].End
+		if a.End != b.End {
+			if a.End < b.End {
+				return -1
+			}
+			return 1
+		}
+		return 0
 	})
 	return &Trace{Name: name, NumNodes: numNodes, Horizon: horizon, contacts: cs}, nil
 }

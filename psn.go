@@ -27,8 +27,10 @@
 // # Concurrency and determinism
 //
 // The three hot paths — Simulate, Enumerator.EnumerateAll, and the
-// figure harness — fan independent messages out across a worker pool.
-// Each carries a Workers knob (SimConfig.Workers,
+// figure harness — fan independent work items out across a worker
+// pool (for EnumerateAll the items are (source, start step) message
+// groups, each sharing one dynamic-program prefix across its
+// destinations). Each carries a Workers knob (SimConfig.Workers,
 // EnumOptions.Workers, FigureParams.Workers): zero means
 // runtime.GOMAXPROCS(0), one forces a serial run, and any other value
 // caps the goroutine count.
@@ -179,8 +181,13 @@ func DevTrace(seed int64) *Trace { return tracegen.Dev(seed) }
 type (
 	// Enumerator enumerates valid forwarding paths for messages.
 	// Populations beyond 128 nodes (the city-scale datasets) run in
-	// wide mode — identical dynamic program, membership checks by
-	// parent-chain walks instead of per-path bitsets.
+	// wide mode — identical dynamic program, path membership kept as
+	// full-width bitset rows in a slab arena instead of the two-word
+	// per-path bitsets. EnumerateAll groups a batch by (source, start
+	// step) and shares one destination-free dynamic-program prefix per
+	// group, forking a private continuation per destination at its
+	// first contact step; results are byte-identical to independent
+	// Enumerate calls, in message order, for every worker count.
 	Enumerator = pathenum.Enumerator
 	// EnumOptions tunes enumeration (Δ, K, table width).
 	EnumOptions = pathenum.Options
