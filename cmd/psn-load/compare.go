@@ -1,0 +1,130 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// snapshotBaseline wraps a previous LOAD_*.json for diffing — the same
+// match-by-name/ratio idiom as psn-bench's BENCH snapshots, applied to
+// per-class p50/p99.
+type snapshotBaseline struct {
+	report LoadReport
+	path   string
+}
+
+func (b *snapshotBaseline) load(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(data, &b.report); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	b.path = path
+	return nil
+}
+
+// diff prints the per-class comparison and returns false when limit is
+// positive and any class's p99 ratio (current/baseline) exceeds it.
+// Classes present in only one report are listed but never gated — a
+// class that disappears from the mix cannot fail the gate silently.
+func (b *snapshotBaseline) diff(w io.Writer, cur LoadReport, limit float64) bool {
+	baseByName := make(map[string]LoadClass, len(b.report.Classes))
+	for _, c := range b.report.Classes {
+		baseByName[c.Name] = c
+	}
+	if b.report.GOMAXPROCS != cur.GOMAXPROCS {
+		fmt.Fprintf(w, "warning: GOMAXPROCS differs (baseline %d, current %d) — ratios reflect machine shape too\n",
+			b.report.GOMAXPROCS, cur.GOMAXPROCS)
+	}
+	fmt.Fprintf(w, "baseline %s:\n", b.path)
+	fmt.Fprintf(w, "%-10s %10s %10s %7s %10s %10s %7s\n",
+		"class", "p50 base", "p50 cur", "ratio", "p99 base", "p99 cur", "ratio")
+	ok := true
+	for _, c := range cur.Classes {
+		base, found := baseByName[c.Name]
+		if !found {
+			fmt.Fprintf(w, "%-10s (not in baseline)\n", c.Name)
+			continue
+		}
+		delete(baseByName, c.Name)
+		r50 := ratio(c.P50Ms, base.P50Ms)
+		r99 := ratio(c.P99Ms, base.P99Ms)
+		flag := ""
+		if limit > 0 && r99 > limit {
+			flag = "  REGRESSION"
+			ok = false
+		}
+		fmt.Fprintf(w, "%-10s %10.2f %10.2f %7.2f %10.2f %10.2f %7.2f%s\n",
+			c.Name, base.P50Ms, c.P50Ms, r50, base.P99Ms, c.P99Ms, r99, flag)
+	}
+	for name := range baseByName {
+		fmt.Fprintf(w, "%-10s (baseline only — not gated)\n", name)
+	}
+	return ok
+}
+
+// ratio is current/baseline with a zero baseline reported as 1 when
+// the current value is also zero (nothing to compare) and +Inf-like
+// large otherwise.
+func ratio(cur, base float64) float64 {
+	if base == 0 {
+		if cur == 0 {
+			return 1
+		}
+		return 1e9
+	}
+	return cur / base
+}
+
+// checkReport validates a LOAD_*.json file: it must parse into the
+// report shape, totals must be consistent with the per-class counts,
+// and each class's latency quantiles must be monotone. This is the
+// machine check CI runs on a fresh smoke report.
+func checkReport(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var r LoadReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return err
+	}
+	if r.Date == "" {
+		return fmt.Errorf("missing date")
+	}
+	if r.DurationS <= 0 {
+		return fmt.Errorf("durationS %g not positive", r.DurationS)
+	}
+	if len(r.Classes) == 0 {
+		return fmt.Errorf("no classes")
+	}
+	var req, errs, shed int64
+	for _, c := range r.Classes {
+		if c.Name == "" {
+			return fmt.Errorf("class with empty name")
+		}
+		if c.Errors+c.Shed > c.Requests {
+			return fmt.Errorf("class %s: errors+shed (%d) exceed requests (%d)", c.Name, c.Errors+c.Shed, c.Requests)
+		}
+		if !(c.P50Ms <= c.P90Ms && c.P90Ms <= c.P99Ms) {
+			return fmt.Errorf("class %s: quantiles not monotone (p50 %.3f, p90 %.3f, p99 %.3f)", c.Name, c.P50Ms, c.P90Ms, c.P99Ms)
+		}
+		// The p99 estimate interpolates inside its bucket and is capped
+		// by the recorded max; allow equality but never exceedance.
+		if c.P99Ms > c.MaxMs {
+			return fmt.Errorf("class %s: p99 %.3f exceeds max %.3f", c.Name, c.P99Ms, c.MaxMs)
+		}
+		req += c.Requests
+		errs += c.Errors
+		shed += c.Shed
+	}
+	if req != r.Requests || errs != r.Errors || shed != r.Shed {
+		return fmt.Errorf("totals (%d/%d/%d) do not match class sums (%d/%d/%d)",
+			r.Requests, r.Errors, r.Shed, req, errs, shed)
+	}
+	return nil
+}

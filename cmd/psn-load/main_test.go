@@ -1,0 +1,158 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"testing"
+	"time"
+
+	psn "repro"
+)
+
+func TestParseMix(t *testing.T) {
+	classes, err := parseMix("enumerate=4,batch=1,simulate=2,figures=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(classes) != 4 {
+		t.Fatalf("got %d classes, want 4", len(classes))
+	}
+	if classes[0].name != "enumerate" || classes[0].weight != 4 {
+		t.Errorf("first class %s=%d, want enumerate=4", classes[0].name, classes[0].weight)
+	}
+	if _, err := parseMix("bogus=1"); err == nil {
+		t.Error("unknown class accepted")
+	}
+	if _, err := parseMix("enumerate=1,enumerate=2"); err == nil {
+		t.Error("repeated class accepted")
+	}
+	if _, err := parseMix("enumerate=0"); err == nil {
+		t.Error("all-zero mix accepted")
+	}
+	if cs, err := parseMix("enumerate=1,simulate=0"); err != nil || len(cs) != 1 {
+		t.Errorf("zero-weight class not dropped: %v, %d classes", err, len(cs))
+	}
+}
+
+// TestLoadAgainstServer drives a short open-loop run against an
+// in-process server and cross-checks the generator's totals against
+// the server's /metrics — the acceptance criterion that the recorded
+// histogram counts match what the generator actually sent.
+func TestLoadAgainstServer(t *testing.T) {
+	srv := psn.NewServer(psn.ServeConfig{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	classes, err := parseMix("enumerate=2,simulate=1,figures=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := &http.Client{Timeout: 10 * time.Second}
+	report := run(client, ts.URL, classes, 1500*time.Millisecond, 60, 7, "dev")
+
+	if report.Requests == 0 {
+		t.Fatal("no requests fired")
+	}
+	if report.Errors != 0 || report.Shed != 0 {
+		t.Fatalf("errors %d shed %d, want 0/0", report.Errors, report.Shed)
+	}
+	byName := map[string]LoadClass{}
+	for _, c := range report.Classes {
+		byName[c.Name] = c
+		if c.Requests > 0 {
+			if !(c.P50Ms <= c.P90Ms && c.P90Ms <= c.P99Ms && c.P99Ms <= c.MaxMs) {
+				t.Errorf("class %s: quantiles not monotone: %+v", c.Name, c)
+			}
+		}
+	}
+
+	// Server-side request counters must equal the generator's totals
+	// (both /enumerate forms land on the enumerate endpoint).
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	served := func(endpoint string) int64 {
+		re := regexp.MustCompile(fmt.Sprintf(`psn_requests_total\{endpoint=%q\} (\d+)`, endpoint))
+		m := re.FindSubmatch(metrics)
+		if m == nil {
+			return 0
+		}
+		n, _ := strconv.ParseInt(string(m[1]), 10, 64)
+		return n
+	}
+	histCount := func(endpoint string) int64 {
+		re := regexp.MustCompile(fmt.Sprintf(`psn_request_duration_seconds_count\{endpoint=%q\} (\d+)`, endpoint))
+		m := re.FindSubmatch(metrics)
+		if m == nil {
+			return 0
+		}
+		n, _ := strconv.ParseInt(string(m[1]), 10, 64)
+		return n
+	}
+	checks := []struct {
+		endpoint string
+		want     int64
+	}{
+		{"enumerate", byName["enumerate"].Requests},
+		{"simulate", byName["simulate"].Requests},
+		{"figures", byName["figures"].Requests},
+	}
+	for _, c := range checks {
+		if got := served(c.endpoint); got != c.want {
+			t.Errorf("server counted %d %s requests, generator sent %d", got, c.endpoint, c.want)
+		}
+		if got := histCount(c.endpoint); got != c.want {
+			t.Errorf("latency histogram for %s counts %d, generator sent %d", c.endpoint, got, c.want)
+		}
+	}
+
+	// The report round-trips through the checker.
+	path := filepath.Join(t.TempDir(), "LOAD_test.json")
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := checkReport(path); err != nil {
+		t.Errorf("checkReport on fresh run: %v", err)
+	}
+}
+
+func TestCheckReportRejectsBadFiles(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	if err := checkReport(write("garbage.json", "not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if err := checkReport(write("empty.json", `{"date":"2026-08-08","durationS":1,"classes":[]}`)); err == nil {
+		t.Error("empty class list accepted")
+	}
+	bad := `{"date":"2026-08-08","durationS":1,"requests":1,"classes":[
+		{"name":"enumerate","requests":1,"p50Ms":5,"p90Ms":4,"p99Ms":6,"maxMs":6}]}`
+	if err := checkReport(write("nonmonotone.json", bad)); err == nil {
+		t.Error("non-monotone quantiles accepted")
+	}
+	bad = `{"date":"2026-08-08","durationS":1,"requests":2,"classes":[
+		{"name":"enumerate","requests":1,"p50Ms":1,"p90Ms":2,"p99Ms":3,"maxMs":3}]}`
+	if err := checkReport(write("totals.json", bad)); err == nil {
+		t.Error("mismatched totals accepted")
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -46,6 +47,9 @@ func main() {
 		cacheSize   = flag.Int("cache-size", 0, "memoized-result LRU entries (0 = 256, <0 = disable)")
 		artifacts   = flag.String("artifacts", "", "artifact store directory (see psn-warm); warmed graphs and oracle tables load instead of building, with live build as fallback")
 		selfcheck   = flag.Bool("selfcheck", false, "start on an ephemeral port, verify /healthz and /enumerate against the library, and exit")
+		enablePprof = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (bypasses the in-flight limit)")
+		traceSlow   = flag.Duration("trace-slow", 0, "log a structured stage-breakdown line for requests at least this slow (0 = off), e.g. -trace-slow 250ms")
+		accessLog   = flag.Bool("access-log", false, "log one structured line per request (method, path, dataset, status, latency, request ID)")
 	)
 	reg := psn.NewRegistry()
 	flag.Func("trace", "register a file-backed dataset as name=path (repeatable)", func(v string) error {
@@ -63,6 +67,10 @@ func main() {
 		MaxInflight: *maxInflight,
 		CacheSize:   *cacheSize,
 		ArtifactDir: *artifacts,
+		EnablePprof: *enablePprof,
+		TraceSlow:   *traceSlow,
+		AccessLog:   *accessLog,
+		Logger:      slog.New(slog.NewTextHandler(os.Stderr, nil)),
 	})
 
 	if *selfcheck {

@@ -155,6 +155,26 @@ func (s *Store) OraclePath(dataset string) string {
 	return filepath.Join(s.Dir, fmt.Sprintf("oracle_%s.psna", sanitize(dataset)))
 }
 
+// HasGraph reports whether a graph artifact file for (dataset, delta)
+// is present in the store. Presence only — the file may still fail a
+// digest or integrity check at load time — but it is exactly the cheap
+// signal a health probe needs to tell a warmed replica from a cold one
+// without touching the trace.
+func (s *Store) HasGraph(dataset string, delta float64) bool {
+	return isRegular(s.GraphPath(dataset, delta))
+}
+
+// HasOracle reports whether an oracle artifact file for dataset is
+// present in the store (presence only, like HasGraph).
+func (s *Store) HasOracle(dataset string) bool {
+	return isRegular(s.OraclePath(dataset))
+}
+
+func isRegular(path string) bool {
+	info, err := os.Stat(path)
+	return err == nil && info.Mode().IsRegular()
+}
+
 // miss wraps a load failure so errors.Is(err, ErrMiss) holds.
 func miss(format string, args ...any) error {
 	return fmt.Errorf("%w: "+format, append([]any{ErrMiss}, args...)...)

@@ -38,6 +38,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/forward"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -207,6 +208,17 @@ func (sw *Sweep) Trace() *trace.Trace { return sw.tr }
 // Oracle returns the sweep's precomputed tables, shareable with plain
 // Run calls via Config.Oracle.
 func (sw *Sweep) Oracle() *Oracle { return sw.oracle }
+
+// RunObs is Run with the warm replay timed under obs.StageSimRun into
+// ot — the marginal per-run cost a sweep's caller pays after the
+// oracle tables are built (those are timed by whoever builds the
+// sweep, under obs.StageOracleBuild). A nil ot costs a pointer check.
+func (sw *Sweep) RunObs(cfg Config, ot *obs.Trace) (*Result, error) {
+	sp := ot.Start(obs.StageSimRun)
+	res, err := sw.Run(cfg)
+	sp.End()
+	return res, err
+}
 
 // Run simulates one configuration of the sweep's trace. cfg.Trace and
 // cfg.Oracle may be left nil (they default to the sweep's); when set

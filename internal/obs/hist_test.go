@@ -1,0 +1,233 @@
+package obs
+
+import (
+	"bufio"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestBucketBoundsMonotone pins the bucket layout: strictly increasing
+// bounds, first bound at 1µs, ratio ≈ 2^(1/3) throughout.
+func TestBucketBoundsMonotone(t *testing.T) {
+	if bucketBounds[0] != minBucketNs {
+		t.Fatalf("first bound = %d, want %d", bucketBounds[0], int64(minBucketNs))
+	}
+	for i := 1; i < len(bucketBounds); i++ {
+		if bucketBounds[i] <= bucketBounds[i-1] {
+			t.Fatalf("bounds not strictly increasing at %d: %d <= %d", i, bucketBounds[i], bucketBounds[i-1])
+		}
+		ratio := float64(bucketBounds[i]) / float64(bucketBounds[i-1])
+		if ratio < 1.2 || ratio > 1.32 {
+			t.Errorf("bucket %d ratio %.4f outside [1.2, 1.32]", i, ratio)
+		}
+	}
+}
+
+// TestBucketOf checks the index search against a linear scan.
+func TestBucketOf(t *testing.T) {
+	linear := func(ns int64) int {
+		for i, b := range bucketBounds {
+			if ns <= b {
+				return i
+			}
+		}
+		return NumBuckets - 1
+	}
+	samples := []int64{0, 1, 999, 1000, 1001, 1259, 1260, 5_000_000, 1 << 40}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		samples = append(samples, rng.Int63n(int64(3*time.Second)))
+	}
+	for _, ns := range samples {
+		if got, want := bucketOf(ns), linear(ns); got != want {
+			t.Fatalf("bucketOf(%d) = %d, want %d", ns, got, want)
+		}
+	}
+}
+
+// TestQuantilesMonotone is the quantile property test: for random
+// sample sets, Quantile is non-decreasing in q and brackets the true
+// order statistics within one bucket's relative error.
+func TestQuantilesMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		var h Histogram
+		n := 1 + rng.Intn(2000)
+		for i := 0; i < n; i++ {
+			// Log-uniform over 100ns..10s to exercise every bucket zone.
+			ns := int64(100 * 1e8 * rng.ExpFloat64() / 10)
+			h.RecordNs(ns % int64(10*time.Second))
+		}
+		s := h.Snapshot()
+		prev := time.Duration(-1)
+		for q := 0.0; q <= 1.0; q += 0.01 {
+			v := s.Quantile(q)
+			if v < prev {
+				t.Fatalf("trial %d: quantile not monotone: q=%.2f gives %v after %v", trial, q, v, prev)
+			}
+			prev = v
+		}
+		if max := s.Quantile(1); int64(max) > s.MaxNs {
+			t.Fatalf("trial %d: q=1 quantile %v exceeds recorded max %dns", trial, max, s.MaxNs)
+		}
+	}
+}
+
+// TestQuantileAccuracy checks the quantile against exact order
+// statistics within the bucket relative-error bound.
+func TestQuantileAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var h Histogram
+	samples := make([]int64, 5000)
+	for i := range samples {
+		samples[i] = 1000 + rng.Int63n(int64(time.Second))
+		h.RecordNs(samples[i])
+	}
+	sorted := append([]int64(nil), samples...)
+	for i := range sorted {
+		for j := i + 1; j < len(sorted); j++ {
+			if sorted[j] < sorted[i] {
+				sorted[i], sorted[j] = sorted[j], sorted[i]
+			}
+		}
+		if i > 40 {
+			break // partial selection sort is enough for the low quantiles below
+		}
+	}
+	s := h.Snapshot()
+	// Exact p0.5% vs histogram: within one bucket ratio (×1.26) either way.
+	exact := float64(sorted[len(samples)/200])
+	got := float64(s.Quantile(0.005))
+	if got < exact/1.3 || got > exact*1.3 {
+		t.Errorf("p0.5 = %.0f, exact %.0f: outside one-bucket error", got, exact)
+	}
+}
+
+// TestMergeCounts is the merge property test: per-bucket counts add
+// exactly, and count(merge(a,b)) = count(a) + count(b).
+func TestMergeCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		var a, b, m Histogram
+		na, nb := rng.Intn(500), rng.Intn(500)
+		for i := 0; i < na; i++ {
+			ns := rng.Int63n(int64(2 * time.Second))
+			a.RecordNs(ns)
+			m.RecordNs(ns)
+		}
+		for i := 0; i < nb; i++ {
+			ns := rng.Int63n(int64(2 * time.Second))
+			b.RecordNs(ns)
+			m.RecordNs(ns)
+		}
+		var merged Histogram
+		merged.Merge(&a)
+		merged.Merge(&b)
+		sm, sw := merged.Snapshot(), m.Snapshot()
+		if sm.Count != uint64(na+nb) || sm.Count != sw.Count {
+			t.Fatalf("trial %d: merged count %d, want %d", trial, sm.Count, na+nb)
+		}
+		if sm.Counts != sw.Counts {
+			t.Fatalf("trial %d: merged buckets differ from direct recording", trial)
+		}
+		if sm.SumNs != sw.SumNs || sm.MaxNs != sw.MaxNs {
+			t.Fatalf("trial %d: merged sum/max (%d,%d) != direct (%d,%d)",
+				trial, sm.SumNs, sm.MaxNs, sw.SumNs, sw.MaxNs)
+		}
+	}
+}
+
+// TestConcurrentRecord hammers one histogram from many goroutines
+// (meaningful under -race) and checks no samples are lost: every
+// bucket counter is independent and atomic.
+func TestConcurrentRecord(t *testing.T) {
+	var h Histogram
+	const goroutines = 8
+	const perG = 10_000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < perG; i++ {
+				h.RecordNs(rng.Int63n(int64(time.Second)))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := h.Count(); got != goroutines*perG {
+		t.Fatalf("lost samples: count %d, want %d", got, goroutines*perG)
+	}
+}
+
+// TestRecordAllocFree pins Record and Snapshot as allocation-free.
+func TestRecordAllocFree(t *testing.T) {
+	var h Histogram
+	if n := testing.AllocsPerRun(1000, func() { h.RecordNs(12345) }); n != 0 {
+		t.Errorf("RecordNs allocates %.1f/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() { _ = h.Snapshot() }); n != 0 {
+		t.Errorf("Snapshot allocates %.1f/op, want 0", n)
+	}
+}
+
+// TestWritePrometheus checks the rendered exposition: cumulative,
+// ends at +Inf == count, sum/count lines present, labels inserted.
+func TestWritePrometheus(t *testing.T) {
+	var h Histogram
+	h.RecordNs(int64(2 * time.Millisecond))
+	h.RecordNs(int64(2 * time.Millisecond))
+	h.RecordNs(int64(700 * time.Millisecond))
+	var b strings.Builder
+	s := h.Snapshot()
+	s.WritePrometheus(&b, "x_seconds", `endpoint="enumerate"`)
+	out := b.String()
+	if !strings.Contains(out, `x_seconds_bucket{endpoint="enumerate",le="+Inf"} 3`) {
+		t.Errorf("missing +Inf bucket with full count:\n%s", out)
+	}
+	if !strings.Contains(out, `x_seconds_count{endpoint="enumerate"} 3`) {
+		t.Errorf("missing count line:\n%s", out)
+	}
+	var prevCum, lines int64 = -1, 0
+	sc := bufio.NewScanner(strings.NewReader(out))
+	for sc.Scan() {
+		line := sc.Text()
+		lines++
+		if strings.HasPrefix(line, "x_seconds_bucket") {
+			var cum int64
+			i := strings.LastIndexByte(line, ' ')
+			if _, err := fmtSscan(line[i+1:], &cum); err != nil {
+				t.Fatalf("bad bucket line %q: %v", line, err)
+			}
+			if cum < prevCum {
+				t.Fatalf("buckets not cumulative: %q after %d", line, prevCum)
+			}
+			prevCum = cum
+		}
+	}
+	if lines < 4 {
+		t.Fatalf("suspiciously short exposition:\n%s", out)
+	}
+}
+
+func fmtSscan(s string, v *int64) (int, error) {
+	var n int64
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			return 0, errNotDigit
+		}
+		n = n*10 + int64(c-'0')
+	}
+	*v = n
+	return 1, nil
+}
+
+var errNotDigit = errTest("non-digit in numeric field")
+
+type errTest string
+
+func (e errTest) Error() string { return string(e) }

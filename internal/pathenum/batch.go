@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -32,6 +33,17 @@ import (
 // serial loop would have hit first; messages are validated up front,
 // so no enumeration runs on a batch with any invalid message.
 func (e *Enumerator) EnumerateAll(msgs []Message) ([]*Result, error) {
+	return e.EnumerateAllObs(msgs, nil)
+}
+
+// EnumerateAllObs is EnumerateAll with stage spans recorded into ot:
+// the shared destination-free prefix advances accumulate under
+// obs.StageEnumPrefix and the per-destination continuations — forked
+// off a prefix, or whole single-message enumerations for ungrouped
+// messages — under obs.StageEnumFork. Groups run concurrently, so the
+// trace's atomic accumulation sums wall time across workers. A nil ot
+// costs one pointer check per phase boundary.
+func (e *Enumerator) EnumerateAllObs(msgs []Message, ot *obs.Trace) ([]*Result, error) {
 	for i := range msgs {
 		if err := e.validateMessage(msgs[i]); err != nil {
 			return nil, fmt.Errorf("message %d: %w", i, err)
@@ -58,15 +70,18 @@ func (e *Enumerator) EnumerateAll(msgs []Message) ([]*Result, error) {
 		k := order[gi]
 		idxs := groups[k]
 		if len(idxs) == 1 {
-			// Nothing to share: the plain pooled-scratch path.
+			// Nothing to share: the plain pooled-scratch path. The whole
+			// run is one private continuation with an empty prefix.
+			sp := ot.Start(obs.StageEnumFork)
 			r, err := e.Enumerate(msgs[idxs[0]])
+			sp.End()
 			if err != nil {
 				return fmt.Errorf("message %d: %w", idxs[0], err)
 			}
 			out[idxs[0]] = r
 			return nil
 		}
-		e.enumerateGroup(k.src, k.s0, idxs, msgs, out)
+		e.enumerateGroup(k.src, k.s0, idxs, msgs, out, ot)
 		return nil
 	})
 	if err != nil {
@@ -83,7 +98,7 @@ func (e *Enumerator) EnumerateAll(msgs []Message) ([]*Result, error) {
 // destination live. Forks run strictly one at a time, so the layered
 // arenas never race the base; results are materialized out of each
 // fork before the next advances the base.
-func (e *Enumerator) enumerateGroup(src trace.NodeID, s0 int, idxs []int, msgs []Message, out []*Result) {
+func (e *Enumerator) enumerateGroup(src trace.NodeID, s0 int, idxs []int, msgs []Message, out []*Result, ot *obs.Trace) {
 	type job struct {
 		mi int // index into msgs/out
 		fa int // first step >= s0 at which the destination has contacts
@@ -105,18 +120,23 @@ func (e *Enumerator) enumerateGroup(src trace.NodeID, s0 int, idxs []int, msgs [
 	}
 	sort.Slice(jobs, func(a, b int) bool { return jobs[a].fa < jobs[b].fa })
 
+	sp := ot.Start(obs.StageEnumPrefix)
 	sc0 := e.getScratch()
 	sc0.prepare()
 	e.seed(sc0, src, s0)
+	sp.End()
 	// Destination-free steps record no arrivals and never finish, so
 	// the result sink is never written; see step.
 	sink := &Result{}
 	cur := s0
 	var fk *scratch
 	for _, j := range jobs {
+		sp = ot.Start(obs.StageEnumPrefix)
 		for ; cur < j.fa; cur++ {
 			e.step(sc0, cur, -1, sink)
 		}
+		sp.End()
+		sp = ot.Start(obs.StageEnumFork)
 		fk = e.forkScratch(sc0, fk)
 		res := &Result{Msg: msgs[j.mi], Delta: e.g.Delta}
 		for s := cur; s < e.g.Steps; s++ {
@@ -126,6 +146,7 @@ func (e *Enumerator) enumerateGroup(src trace.NodeID, s0 int, idxs []int, msgs [
 		}
 		materializeArrivals(fk, res)
 		out[j.mi] = res
+		sp.End()
 	}
 	// The forks' layered arenas aliased sc0's chunks, but every fork is
 	// dead (its arrivals materialized) by now, so pooling sc0 is safe.

@@ -6,6 +6,7 @@ import (
 	"repro/internal/artstore"
 	"repro/internal/dtnsim"
 	"repro/internal/figures"
+	"repro/internal/obs"
 	"repro/internal/pathenum"
 	"repro/internal/stgraph"
 	"repro/internal/trace"
@@ -96,8 +97,11 @@ func newArtifacts(reg *Registry, store *artstore.Store) *artifacts {
 }
 
 // graph returns the indexed space-time graph of a dataset at step
-// delta, building it once.
-func (a *artifacts) graph(dataset string, delta float64) (*stgraph.Graph, error) {
+// delta, building it once. Stage spans land on ot — only for the
+// request that actually triggers the singleflight load or build; later
+// requests get the cached graph and record nothing, which is the
+// truthful attribution.
+func (a *artifacts) graph(dataset string, delta float64, ot *obs.Trace) (*stgraph.Graph, error) {
 	if delta == 0 {
 		delta = stgraph.DefaultDelta
 	}
@@ -107,13 +111,16 @@ func (a *artifacts) graph(dataset string, delta float64) (*stgraph.Graph, error)
 			return nil, err
 		}
 		if a.store != nil {
-			if g, err := a.store.LoadGraph(dataset, delta, artstore.TraceDigest(tr)); err == nil {
+			sp := ot.Start(obs.StageArtifactLoad)
+			g, err := a.store.LoadGraph(dataset, delta, artstore.TraceDigest(tr))
+			sp.End()
+			if err == nil {
 				a.graphLoads.Add(1)
 				return g, nil
 			}
 		}
 		a.graphBuilds.Add(1)
-		return stgraph.New(tr, delta)
+		return stgraph.NewWorkersObs(tr, delta, 0, ot)
 	})
 }
 
@@ -121,14 +128,14 @@ func (a *artifacts) graph(dataset string, delta float64) (*stgraph.Graph, error)
 // options. Enumerators with different budgets share the per-(dataset,
 // delta) graph index — the expensive part — and each is itself safe
 // for concurrent Enumerate calls.
-func (a *artifacts) enumerator(dataset string, opt pathenum.Options) (*pathenum.Enumerator, error) {
+func (a *artifacts) enumerator(dataset string, opt pathenum.Options, ot *obs.Trace) (*pathenum.Enumerator, error) {
 	key := enumKey{dataset, opt.Delta, opt.K, opt.TableWidth, opt.MaxArrivals, opt.Workers}
 	return a.enums.get(key, func() (*pathenum.Enumerator, error) {
 		tr, err := a.reg.Trace(dataset)
 		if err != nil {
 			return nil, err
 		}
-		g, err := a.graph(dataset, opt.Delta)
+		g, err := a.graph(dataset, opt.Delta, ot)
 		if err != nil {
 			return nil, err
 		}
@@ -139,20 +146,26 @@ func (a *artifacts) enumerator(dataset string, opt pathenum.Options) (*pathenum.
 // sweep returns the dataset's simulation sweep engine: precomputed
 // oracle tables plus pooled per-run simulation state, shared by every
 // /simulate request for the dataset.
-func (a *artifacts) sweep(dataset string) (*dtnsim.Sweep, *trace.Trace, error) {
+func (a *artifacts) sweep(dataset string, ot *obs.Trace) (*dtnsim.Sweep, *trace.Trace, error) {
 	tr, err := a.reg.Trace(dataset)
 	if err != nil {
 		return nil, nil, err
 	}
 	sw, err := a.sweeps.get(dataset, func() (*dtnsim.Sweep, error) {
 		if a.store != nil {
-			if o, err := a.store.LoadOracle(dataset, artstore.TraceDigest(tr), tr); err == nil {
+			sp := ot.Start(obs.StageArtifactLoad)
+			o, err := a.store.LoadOracle(dataset, artstore.TraceDigest(tr), tr)
+			sp.End()
+			if err == nil {
 				a.oracleLoads.Add(1)
 				return dtnsim.NewSweepFromOracle(o)
 			}
 		}
 		a.oracleBuilds.Add(1)
-		return dtnsim.NewSweep(tr)
+		sp := ot.Start(obs.StageOracleBuild)
+		sw, err := dtnsim.NewSweep(tr)
+		sp.End()
+		return sw, err
 	})
 	return sw, tr, err
 }

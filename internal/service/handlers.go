@@ -11,25 +11,65 @@ import (
 	"repro/internal/engine"
 	"repro/internal/figures"
 	"repro/internal/forward"
+	"repro/internal/obs"
 	"repro/internal/pathenum"
+	"repro/internal/stgraph"
 	"repro/internal/trace"
 )
 
 // --- GET /healthz ---
 
-// HealthResponse is the /healthz body.
-type HealthResponse struct {
-	Status   string `json:"status"`
-	Datasets int    `json:"datasets"`
+// ArtifactsStatus reports the on-disk artifact store's state inside
+// /healthz, so a load generator or orchestrator can tell a warm replica
+// (artifacts on disk, sub-second first request) from a cold one (first
+// request pays seconds of live builds) before sending traffic.
+type ArtifactsStatus struct {
+	Dir string `json:"dir"`
+
+	// Warm lists the registered datasets with both a space-time graph
+	// (at the default delta) and an oracle table present on disk.
+	Warm []string `json:"warm"`
+
+	// Load/build counters since process start, mirroring /metrics:
+	// loads are store hits, builds are live fallbacks.
+	GraphLoads   int64 `json:"graphLoads"`
+	GraphBuilds  int64 `json:"graphBuilds"`
+	OracleLoads  int64 `json:"oracleLoads"`
+	OracleBuilds int64 `json:"oracleBuilds"`
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, HealthResponse{Status: "ok", Datasets: len(s.cfg.Registry.Names())})
+// HealthResponse is the /healthz body. Artifacts is present only when
+// the server was configured with an artifact store.
+type HealthResponse struct {
+	Status    string           `json:"status"`
+	Datasets  int              `json:"datasets"`
+	Artifacts *ArtifactsStatus `json:"artifacts,omitempty"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request, ri *reqInfo) {
+	resp := HealthResponse{Status: "ok", Datasets: len(s.cfg.Registry.Names())}
+	if s.art.store != nil {
+		as := &ArtifactsStatus{
+			Dir:          s.art.store.Dir,
+			Warm:         []string{},
+			GraphLoads:   s.art.graphLoads.Load(),
+			GraphBuilds:  s.art.graphBuilds.Load(),
+			OracleLoads:  s.art.oracleLoads.Load(),
+			OracleBuilds: s.art.oracleBuilds.Load(),
+		}
+		for _, name := range s.cfg.Registry.Names() {
+			if s.art.store.HasGraph(name, stgraph.DefaultDelta) && s.art.store.HasOracle(name) {
+				as.Warm = append(as.Warm, name)
+			}
+		}
+		resp.Artifacts = as
+	}
+	writeJSON(w, resp)
 }
 
 // --- GET /metrics ---
 
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request, ri *reqInfo) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	s.metrics.write(w, s.results, s.art)
 }
@@ -41,7 +81,7 @@ type DatasetsResponse struct {
 	Datasets []DatasetInfo `json:"datasets"`
 }
 
-func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleDatasets(w http.ResponseWriter, r *http.Request, ri *reqInfo) {
 	writeJSON(w, DatasetsResponse{Datasets: s.cfg.Registry.List()})
 }
 
@@ -111,12 +151,13 @@ type EnumerateResponse struct {
 	Results []EnumerateResult `json:"results"`
 }
 
-func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request, ri *reqInfo) {
 	var req EnumerateRequest
 	if err := decodeBody(w, r, &req); err != nil {
 		writeError(w, statusOf(err), err)
 		return
 	}
+	ri.dataset = req.Dataset
 	msgs, err := enumerateMessages(req)
 	if err != nil {
 		writeError(w, statusOf(err), err)
@@ -135,7 +176,7 @@ func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request) {
 	}
 	key := enumerateKey(req.Dataset, msgs, opt)
 	data, err := s.results.Get(key, func() ([]byte, error) {
-		resp, err := s.Enumerate(req.Dataset, msgs, opt)
+		resp, err := s.enumerate(req.Dataset, msgs, opt, &ri.obs)
 		if err != nil {
 			return nil, err
 		}
@@ -200,15 +241,20 @@ func enumerateKey(dataset string, msgs []pathenum.Message, opt pathenum.Options)
 // POST /enumerate, exported so clients and the served-equivalence
 // suite can compare byte-for-byte.
 func (s *Server) Enumerate(dataset string, msgs []pathenum.Message, opt pathenum.Options) (*EnumerateResponse, error) {
+	return s.enumerate(dataset, msgs, opt, nil)
+}
+
+// enumerate is Enumerate with stage spans recorded into ot (nil-safe).
+func (s *Server) enumerate(dataset string, msgs []pathenum.Message, opt pathenum.Options, ot *obs.Trace) (*EnumerateResponse, error) {
 	opt, err := opt.Normalized()
 	if err != nil {
 		return nil, &badRequestError{err: err}
 	}
-	enum, err := s.art.enumerator(dataset, opt)
+	enum, err := s.art.enumerator(dataset, opt, ot)
 	if err != nil {
 		return nil, err
 	}
-	results, err := enum.EnumerateAll(msgs)
+	results, err := enum.EnumerateAllObs(msgs, ot)
 	if err != nil {
 		return nil, &badRequestError{err: err}
 	}
@@ -313,17 +359,18 @@ func (req *SimulateRequest) withDefaults() {
 	}
 }
 
-func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request, ri *reqInfo) {
 	var req SimulateRequest
 	if err := decodeBody(w, r, &req); err != nil {
 		writeError(w, statusOf(err), err)
 		return
 	}
+	ri.dataset = req.Dataset
 	req.withDefaults()
 	req.Workers = s.workers(req.Workers)
 	key := simulateKey(req)
 	data, err := s.results.Get(key, func() ([]byte, error) {
-		resp, err := s.Simulate(req)
+		resp, err := s.simulate(req, &ri.obs)
 		if err != nil {
 			return nil, err
 		}
@@ -353,6 +400,11 @@ func simulateKey(req SimulateRequest) string {
 // /simulate: Runs workloads with per-run seeds split from Seed, merged
 // in run order. Exported for clients and the served-equivalence suite.
 func (s *Server) Simulate(req SimulateRequest) (*SimulateResponse, error) {
+	return s.simulate(req, nil)
+}
+
+// simulate is Simulate with stage spans recorded into ot (nil-safe).
+func (s *Server) simulate(req SimulateRequest, ot *obs.Trace) (*SimulateResponse, error) {
 	req.withDefaults()
 	alg, ok := AlgorithmByName(req.Algorithm)
 	if !ok {
@@ -371,19 +423,19 @@ func (s *Server) Simulate(req SimulateRequest) (*SimulateResponse, error) {
 	if req.Rate < 0 || req.GenFraction < 0 || req.GenFraction > 1 || req.Runs < 0 {
 		return nil, badRequest("negative rate/runs or genFraction outside [0,1]")
 	}
-	sweep, tr, err := s.art.sweep(req.Dataset)
+	sweep, tr, err := s.art.sweep(req.Dataset, ot)
 	if err != nil {
 		return nil, err
 	}
 	runs := make([]*dtnsim.Result, req.Runs)
 	for i := range runs {
 		msgs := dtnsim.Workload(tr, req.Rate, tr.Horizon*req.GenFraction, engine.DeriveSeed(req.Seed, i))
-		res, err := sweep.Run(dtnsim.Config{
+		res, err := sweep.RunObs(dtnsim.Config{
 			Algorithm: alg,
 			Messages:  msgs,
 			CopyMode:  mode,
 			Workers:   req.Workers,
-		})
+		}, ot)
 		if err != nil {
 			return nil, fmt.Errorf("simulate %s/%s: %w", req.Dataset, alg.Name(), err)
 		}
@@ -463,7 +515,7 @@ type FiguresResponse struct {
 	Figures []FigureInfo `json:"figures"`
 }
 
-func (s *Server) handleFigures(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleFigures(w http.ResponseWriter, r *http.Request, ri *reqInfo) {
 	all := figures.All()
 	resp := FiguresResponse{Figures: make([]FigureInfo, len(all))}
 	for i, f := range all {
@@ -491,7 +543,7 @@ type FigureDataResponse struct {
 	Data   string           `json:"data"`
 }
 
-func (s *Server) handleFigureData(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleFigureData(w http.ResponseWriter, r *http.Request, ri *reqInfo) {
 	id := r.PathValue("id")
 	f, ok := figures.Lookup(id)
 	if !ok {

@@ -3,14 +3,20 @@ package service
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
-// metrics holds the server's operational counters, exposed in
-// Prometheus text format on /metrics. Counters are monotonic atomics;
-// the in-flight gauge tracks the backpressure semaphore.
+// metrics holds the server's operational state exposed in Prometheus
+// text format on /metrics: monotonic counters (requests, status codes,
+// shed, cache, artifacts), an in-flight gauge, per-endpoint request
+// latency histograms, per-stage span histograms, and runtime gauges.
+// Histograms are lock-free (see internal/obs); recording a request
+// costs a handful of atomic adds and no allocation.
 type metrics struct {
 	inflight atomic.Int64
 	rejected atomic.Int64 // requests shed by the in-flight limit
@@ -18,12 +24,50 @@ type metrics struct {
 	mu       sync.Mutex
 	requests map[string]*int64 // per-endpoint request counter
 	statuses map[int]*int64    // per-status-code response counter
+
+	// latency[endpoint] is the endpoint's request-duration histogram.
+	// The map is fully populated while the mux is wired (before any
+	// request) and read-only afterwards, so lookups are lock-free.
+	latency map[string]*obs.Histogram
+
+	// stages[s] aggregates obs.Stage s across all requests: each
+	// request's accumulated stage time is folded in once at completion,
+	// so the histogram's count is "requests that exercised this stage"
+	// and its distribution is per-request stage cost.
+	stages [obs.NumStages]*obs.Histogram
 }
 
 func newMetrics() *metrics {
-	return &metrics{
+	m := &metrics{
 		requests: make(map[string]*int64),
 		statuses: make(map[int]*int64),
+		latency:  make(map[string]*obs.Histogram),
+	}
+	for i := range m.stages {
+		m.stages[i] = &obs.Histogram{}
+	}
+	return m
+}
+
+// histFor returns (creating on first use) the latency histogram of an
+// endpoint. Only called during mux wiring — single-goroutine — so the
+// map needs no lock; requests hit the prebuilt histograms directly.
+func (m *metrics) histFor(endpoint string) *obs.Histogram {
+	h, ok := m.latency[endpoint]
+	if !ok {
+		h = &obs.Histogram{}
+		m.latency[endpoint] = h
+	}
+	return h
+}
+
+// recordStages folds one finished request's per-stage span times into
+// the global stage histograms.
+func (m *metrics) recordStages(t *obs.Trace) {
+	for i := range m.stages {
+		if ns := t.StageNs(obs.Stage(i)); ns > 0 {
+			m.stages[i].RecordNs(ns)
+		}
 	}
 }
 
@@ -107,4 +151,69 @@ func (m *metrics) write(w io.Writer, cache *lruCache, art *artifacts) {
 	fmt.Fprintf(w, "# TYPE psn_artifact_builds_total counter\n")
 	fmt.Fprintf(w, "psn_artifact_builds_total{kind=\"graph\"} %d\n", art.graphBuilds.Load())
 	fmt.Fprintf(w, "psn_artifact_builds_total{kind=\"oracle\"} %d\n", art.oracleBuilds.Load())
+
+	// Request latency histograms, one labeled series set per endpoint
+	// that has served at least one request (the exposition stays
+	// proportional to actual traffic; all-zero histograms add nothing).
+	fmt.Fprintf(w, "# HELP psn_request_duration_seconds Request latency by endpoint (wall time inside the handler wrapper).\n")
+	fmt.Fprintf(w, "# TYPE psn_request_duration_seconds histogram\n")
+	for _, e := range endpoints {
+		h, ok := m.latency[e]
+		if !ok {
+			continue
+		}
+		s := h.Snapshot()
+		if s.Count == 0 {
+			continue
+		}
+		s.WritePrometheus(w, "psn_request_duration_seconds", fmt.Sprintf("endpoint=%q", e))
+	}
+
+	// Stage span histograms: per-request accumulated time in each
+	// instrumented internal phase (see internal/obs stage docs).
+	fmt.Fprintf(w, "# HELP psn_stage_duration_seconds Per-request time in instrumented internal stages.\n")
+	fmt.Fprintf(w, "# TYPE psn_stage_duration_seconds histogram\n")
+	names := obs.StageNames()
+	for i := range m.stages {
+		s := m.stages[i].Snapshot()
+		if s.Count == 0 {
+			continue
+		}
+		s.WritePrometheus(w, "psn_stage_duration_seconds", fmt.Sprintf("stage=%q", names[i]))
+	}
+
+	writeRuntimeGauges(w)
+}
+
+// writeRuntimeGauges emits process runtime gauges: goroutines, heap,
+// cumulative GC pause time, GC cycles and GOMAXPROCS. ReadMemStats
+// briefly stops the world, which is acceptable at metrics-scrape
+// frequency and keeps the probe dependency-free.
+func writeRuntimeGauges(w io.Writer) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+
+	fmt.Fprintf(w, "# HELP psn_goroutines Current goroutine count.\n")
+	fmt.Fprintf(w, "# TYPE psn_goroutines gauge\n")
+	fmt.Fprintf(w, "psn_goroutines %d\n", runtime.NumGoroutine())
+
+	fmt.Fprintf(w, "# HELP psn_gomaxprocs GOMAXPROCS setting.\n")
+	fmt.Fprintf(w, "# TYPE psn_gomaxprocs gauge\n")
+	fmt.Fprintf(w, "psn_gomaxprocs %d\n", runtime.GOMAXPROCS(0))
+
+	fmt.Fprintf(w, "# HELP psn_heap_alloc_bytes Bytes of allocated heap objects.\n")
+	fmt.Fprintf(w, "# TYPE psn_heap_alloc_bytes gauge\n")
+	fmt.Fprintf(w, "psn_heap_alloc_bytes %d\n", ms.HeapAlloc)
+
+	fmt.Fprintf(w, "# HELP psn_heap_sys_bytes Bytes of heap obtained from the OS.\n")
+	fmt.Fprintf(w, "# TYPE psn_heap_sys_bytes gauge\n")
+	fmt.Fprintf(w, "psn_heap_sys_bytes %d\n", ms.HeapSys)
+
+	fmt.Fprintf(w, "# HELP psn_gc_pause_seconds_total Cumulative stop-the-world GC pause time.\n")
+	fmt.Fprintf(w, "# TYPE psn_gc_pause_seconds_total counter\n")
+	fmt.Fprintf(w, "psn_gc_pause_seconds_total %g\n", float64(ms.PauseTotalNs)/1e9)
+
+	fmt.Fprintf(w, "# HELP psn_gc_cycles_total Completed GC cycles.\n")
+	fmt.Fprintf(w, "# TYPE psn_gc_cycles_total counter\n")
+	fmt.Fprintf(w, "psn_gc_cycles_total %d\n", ms.NumGC)
 }

@@ -619,7 +619,7 @@ func TestBackpressure(t *testing.T) {
 	entered := make(chan struct{})
 	release := make(chan struct{})
 	var enterOnce sync.Once
-	blocked := s.limited("test", func(w http.ResponseWriter, r *http.Request) {
+	blocked := s.limited("test", func(w http.ResponseWriter, r *http.Request, ri *reqInfo) {
 		enterOnce.Do(func() { close(entered) })
 		<-release
 		w.WriteHeader(http.StatusOK)
@@ -696,11 +696,11 @@ func TestMetricsExposition(t *testing.T) {
 // enumerators differing only in budget share one graph index.
 func TestEnumeratorGraphSharing(t *testing.T) {
 	s := New(Config{})
-	a, err := s.art.enumerator("dev", pathenum.Options{K: 10})
+	a, err := s.art.enumerator("dev", pathenum.Options{K: 10}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := s.art.enumerator("dev", pathenum.Options{K: 99})
+	b, err := s.art.enumerator("dev", pathenum.Options{K: 99}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -710,7 +710,7 @@ func TestEnumeratorGraphSharing(t *testing.T) {
 	if a.Graph() != b.Graph() {
 		t.Error("enumerators with different budgets do not share the graph index")
 	}
-	c, err := s.art.enumerator("dev", pathenum.Options{K: 10})
+	c, err := s.art.enumerator("dev", pathenum.Options{K: 10}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,10 +5,17 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
+	mathrand "math/rand/v2"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/artstore"
+	"repro/internal/obs"
 )
 
 // Config parametrizes a Server.
@@ -42,6 +49,27 @@ type Config struct {
 	// build as fallback on any miss or mismatch. Empty disables the
 	// store.
 	ArtifactDir string
+
+	// EnablePprof mounts net/http/pprof under GET /debug/pprof/. The
+	// profiling endpoints bypass the in-flight limit — like the other
+	// probe endpoints they must answer while the server is saturated,
+	// which is exactly when a profile is wanted.
+	EnablePprof bool
+
+	// TraceSlow, when positive, emits one structured log line (request
+	// ID, endpoint, dataset, status, total latency, per-stage breakdown)
+	// for every request at least this slow. Zero disables slow-request
+	// tracing.
+	TraceSlow time.Duration
+
+	// AccessLog emits one structured log line per request (method, path,
+	// dataset, status, latency, request ID). Default off: the experiment
+	// endpoints are hot enough that per-request logging is opt-in.
+	AccessLog bool
+
+	// Logger receives access-log and slow-trace lines. Nil means
+	// slog.Default().
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -53,6 +81,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CacheSize == 0 {
 		c.CacheSize = 256
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
 	}
 	return c
 }
@@ -67,6 +98,25 @@ type Server struct {
 	metrics *metrics
 	sem     chan struct{} // in-flight experiment semaphore; nil = unlimited
 	mux     *http.ServeMux
+
+	// Request-ID scheme: a random per-instance tag in the high 32 bits,
+	// a monotone counter in the low 32. IDs are unique per instance,
+	// cheap (one atomic add), and the tag distinguishes replicas in
+	// merged logs. reqPool recycles the per-request trace carrier so the
+	// observability layer adds no steady-state allocation.
+	idTag   uint64
+	idSeq   atomic.Uint64
+	reqPool sync.Pool
+}
+
+// reqInfo carries one request's observability state: the stage-span
+// trace (embedded by value so pooling recycles it wholesale), the
+// formatted request ID echoed in X-Psn-Request, and the dataset the
+// handler resolved (for log lines; empty for non-dataset endpoints).
+type reqInfo struct {
+	obs     obs.Trace
+	idStr   string
+	dataset string
 }
 
 // New builds a Server from cfg.
@@ -81,6 +131,7 @@ func New(cfg Config) *Server {
 		art:     newArtifacts(cfg.Registry, store),
 		results: newLRUCache(cfg.CacheSize),
 		metrics: newMetrics(),
+		idTag:   mathrand.Uint64() << 32,
 	}
 	if cfg.MaxInflight > 0 {
 		s.sem = make(chan struct{}, cfg.MaxInflight)
@@ -96,6 +147,16 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /enumerate", s.limited("enumerate", s.handleEnumerate))
 	s.mux.HandleFunc("POST /simulate", s.limited("simulate", s.handleSimulate))
 	s.mux.HandleFunc("GET /figures/{id}/data", s.limited("figure_data", s.handleFigureData))
+	if cfg.EnablePprof {
+		// pprof rides outside count()/limited(): no accounting, no
+		// shedding — a profile request must not perturb the metrics it
+		// is there to explain.
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 
@@ -110,13 +171,29 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // Registry returns the server's dataset registry.
 func (s *Server) Registry() *Registry { return s.cfg.Registry }
 
-// count wraps a handler with request/response accounting.
-func (s *Server) count(endpoint string, h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
+// count wraps a handler with request/response accounting and the
+// observability envelope: a pooled reqInfo (stage trace + request ID,
+// the ID echoed in X-Psn-Request before the handler runs), the
+// endpoint's latency histogram (resolved once, at wiring time), stage
+// folding into the global stage histograms, and the optional access-log
+// and slow-trace log lines. The whole envelope costs two small
+// allocations per request (the ID string and the header value slice).
+func (s *Server) count(endpoint string, h func(http.ResponseWriter, *http.Request, *reqInfo)) http.HandlerFunc {
+	hist := s.metrics.histFor(endpoint)
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.metrics.countRequest(endpoint)
+		ri := s.getReqInfo()
+		w.Header().Set("X-Psn-Request", ri.idStr)
 		cw := &countingWriter{ResponseWriter: w}
-		h(cw, r)
-		s.metrics.countStatus(cw.status())
+		t0 := time.Now()
+		h(cw, r, ri)
+		d := time.Since(t0)
+		status := cw.status()
+		s.metrics.countStatus(status)
+		hist.Record(d)
+		s.metrics.recordStages(&ri.obs)
+		s.logRequest(endpoint, r, ri, status, d)
+		s.reqPool.Put(ri)
 	}
 }
 
@@ -124,8 +201,8 @@ func (s *Server) count(endpoint string, h func(http.ResponseWriter, *http.Reques
 // in-flight semaphore. When the semaphore is full the request is shed
 // immediately with 503 — callers retry against a server that is
 // already making progress on earlier requests.
-func (s *Server) limited(endpoint string, h func(http.ResponseWriter, *http.Request)) http.HandlerFunc {
-	return s.count(endpoint, func(w http.ResponseWriter, r *http.Request) {
+func (s *Server) limited(endpoint string, h func(http.ResponseWriter, *http.Request, *reqInfo)) http.HandlerFunc {
+	return s.count(endpoint, func(w http.ResponseWriter, r *http.Request, ri *reqInfo) {
 		if s.sem != nil {
 			select {
 			case s.sem <- struct{}{}:
@@ -139,8 +216,75 @@ func (s *Server) limited(endpoint string, h func(http.ResponseWriter, *http.Requ
 		}
 		s.metrics.inflight.Add(1)
 		defer s.metrics.inflight.Add(-1)
-		h(w, r)
+		h(w, r, ri)
 	})
+}
+
+// getReqInfo takes a recycled reqInfo from the pool, resets its trace,
+// and stamps a fresh request ID.
+func (s *Server) getReqInfo() *reqInfo {
+	ri, _ := s.reqPool.Get().(*reqInfo)
+	if ri == nil {
+		ri = new(reqInfo)
+	}
+	ri.obs.Reset()
+	id := s.idTag | s.idSeq.Add(1)&0xffffffff
+	ri.obs.ID = id
+	ri.idStr = formatRequestID(id)
+	ri.dataset = ""
+	return ri
+}
+
+// formatRequestID renders an ID as fixed-width lowercase hex — the
+// X-Psn-Request header value and the "id" field of log lines.
+func formatRequestID(id uint64) string {
+	const digits = "0123456789abcdef"
+	var b [16]byte
+	for i := len(b) - 1; i >= 0; i-- {
+		b[i] = digits[id&0xf]
+		id >>= 4
+	}
+	return string(b[:])
+}
+
+// logRequest emits the access-log line (when enabled) and, for requests
+// at or past the TraceSlow threshold, one structured line with the
+// request's per-stage time breakdown. Both carry the request ID, so a
+// client holding an X-Psn-Request header can be matched to its server-
+// side trace.
+func (s *Server) logRequest(endpoint string, r *http.Request, ri *reqInfo, status int, d time.Duration) {
+	slow := s.cfg.TraceSlow > 0 && d >= s.cfg.TraceSlow
+	if !slow && !s.cfg.AccessLog {
+		return
+	}
+	ctx := r.Context()
+	if s.cfg.AccessLog {
+		s.cfg.Logger.LogAttrs(ctx, slog.LevelInfo, "request",
+			slog.String("id", ri.idStr),
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.String("dataset", ri.dataset),
+			slog.Int("status", status),
+			slog.Duration("latency", d),
+		)
+	}
+	if slow {
+		attrs := make([]slog.Attr, 0, 6+obs.NumStages)
+		attrs = append(attrs,
+			slog.String("id", ri.idStr),
+			slog.String("endpoint", endpoint),
+			slog.String("dataset", ri.dataset),
+			slog.Int("status", status),
+			slog.Duration("latency", d),
+		)
+		names := obs.StageNames()
+		for i := 0; i < obs.NumStages; i++ {
+			if ns := ri.obs.StageNs(obs.Stage(i)); ns > 0 {
+				attrs = append(attrs, slog.Duration("stage."+names[i], time.Duration(ns)))
+			}
+		}
+		s.cfg.Logger.LogAttrs(ctx, slog.LevelWarn, "slow request", attrs...)
+	}
 }
 
 // countingWriter records the status code written to a ResponseWriter.

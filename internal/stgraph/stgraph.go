@@ -53,6 +53,7 @@ import (
 	"slices"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -124,6 +125,15 @@ func New(tr *trace.Trace, delta float64) (*Graph, error) {
 // construction fan-out (0 = GOMAXPROCS, 1 = serial). The built graph
 // is byte-identical for every worker count.
 func NewWorkers(tr *trace.Trace, delta float64, workers int) (*Graph, error) {
+	return NewWorkersObs(tr, delta, workers, nil)
+}
+
+// NewWorkersObs is NewWorkers with stage spans recorded into ot: the
+// event sweep (boundary bucketing plus frame-spec emission) and the
+// frame fill (CSR rows, components, distance tables, stable-component
+// marks) are timed separately, so a serving layer can tell which half
+// of a cold build dominates. A nil ot costs one pointer check.
+func NewWorkersObs(tr *trace.Trace, delta float64, workers int, ot *obs.Trace) (*Graph, error) {
 	if delta <= 0 {
 		return nil, fmt.Errorf("stgraph: delta %g must be positive", delta)
 	}
@@ -137,10 +147,14 @@ func NewWorkers(tr *trace.Trace, delta float64, workers int) (*Graph, error) {
 		Steps:     steps,
 		stepFrame: make([]int32, steps),
 	}
+	sp := ot.Start(obs.StageGraphSweep)
 	sw := newSweep(tr, delta, steps)
 	sw.run(g)
+	sp.End()
+	sp = ot.Start(obs.StageGraphFrames)
 	buildFrames(g, sw, tr.NumNodes, workers)
 	markStableComponents(g, sw.framePrev)
+	sp.End()
 	return g, nil
 }
 

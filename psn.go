@@ -22,7 +22,12 @@
 //   - the on-disk artifact store behind instant warm starts: versioned,
 //     checksummed serializations of built space-time graphs and oracle
 //     tables (ArtifactStore, TraceDigest; see cmd/psn-warm and
-//     psn-serve -artifacts).
+//     psn-serve -artifacts);
+//   - allocation-free observability primitives: lock-free log-bucketed
+//     latency histograms and per-request stage-span traces, threaded
+//     through the serving layer onto /metrics (LatencyHistogram,
+//     StageTrace; see cmd/psn-load and the README's Observability
+//     section).
 //
 // # Concurrency and determinism
 //
@@ -81,6 +86,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/figures"
 	"repro/internal/forward"
+	"repro/internal/obs"
 	"repro/internal/pathenum"
 	"repro/internal/service"
 	"repro/internal/stgraph"
@@ -400,3 +406,44 @@ var ErrArtifactMiss = artstore.ErrMiss
 // warmed from different trace data than the server resolves is a miss,
 // never a wrong answer.
 func TraceDigest(t *Trace) uint64 { return artstore.TraceDigest(t) }
+
+// Observability.
+type (
+	// LatencyHistogram is a lock-free log-bucketed latency histogram:
+	// 64 fixed buckets at 2^(1/3) spacing (three per doubling) from
+	// 1µs to ~1.7s plus an overflow bucket. Record is wait-free and
+	// allocation-free; histograms merge and render in Prometheus text
+	// format. The serving layer keeps one per endpoint and one per
+	// stage on /metrics.
+	LatencyHistogram = obs.Histogram
+	// LatencySnapshot is an immutable copy of a LatencyHistogram with
+	// quantile extraction (p50/p90/p99, capped at the observed max).
+	LatencySnapshot = obs.Snapshot
+	// StageTrace accumulates one request's time per instrumented
+	// pipeline stage (artifact load, graph sweep/frames, enumeration
+	// prefix/fork, oracle build, simulation run). A nil *StageTrace is
+	// fully inert, so instrumented code paths cost one pointer check
+	// when tracing is off.
+	StageTrace = obs.Trace
+	// StageSpan is an open span on a StageTrace; End adds the elapsed
+	// time to its stage.
+	StageSpan = obs.Span
+	// PipelineStage identifies one instrumented stage of the request
+	// pipeline.
+	PipelineStage = obs.Stage
+)
+
+// Instrumented pipeline stages, in pipeline order.
+const (
+	StageArtifactLoad = obs.StageArtifactLoad
+	StageGraphSweep   = obs.StageGraphSweep
+	StageGraphFrames  = obs.StageGraphFrames
+	StageEnumPrefix   = obs.StageEnumPrefix
+	StageEnumFork     = obs.StageEnumFork
+	StageOracleBuild  = obs.StageOracleBuild
+	StageSimRun       = obs.StageSimRun
+)
+
+// StageNames lists the instrumented stage names in stage order, as
+// they appear in /metrics stage labels and slow-request log lines.
+func StageNames() [obs.NumStages]string { return obs.StageNames() }
