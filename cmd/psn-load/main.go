@@ -23,6 +23,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -53,6 +54,7 @@ type class struct {
 	requests atomic.Int64
 	errors   atomic.Int64
 	shed     atomic.Int64
+	retries  atomic.Int64
 }
 
 // devNodes is the node-ID pool for generated messages. Every built-in
@@ -159,6 +161,7 @@ type LoadClass struct {
 	Requests     int64   `json:"requests"`
 	Errors       int64   `json:"errors"`
 	Shed         int64   `json:"shed"`
+	Retries      int64   `json:"retries,omitempty"`
 	AchievedRate float64 `json:"achievedRate"` // completed requests / wall time
 	P50Ms        float64 `json:"p50Ms"`
 	P90Ms        float64 `json:"p90Ms"`
@@ -182,6 +185,7 @@ type LoadReport struct {
 	Requests     int64       `json:"requests"`
 	Errors       int64       `json:"errors"`
 	Shed         int64       `json:"shed"`
+	Retries      int64       `json:"retries,omitempty"`
 	Classes      []LoadClass `json:"classes"`
 }
 
@@ -200,6 +204,7 @@ func main() {
 		check    = flag.String("check", "", "validate a LOAD_*.json file and exit")
 		serve    = flag.Bool("serve", false, "start an in-process server on an ephemeral port and load it (self-contained smoke)")
 		strict   = flag.Bool("strict", false, "exit 1 if any request errored or was shed")
+		retry    = flag.Int("retry", 0, "retries per shed (503) response, with capped jittered exponential backoff honoring Retry-After (0 = report sheds as-is)")
 	)
 	flag.Parse()
 
@@ -260,7 +265,7 @@ func main() {
 		}
 	}
 
-	report := run(client, baseURL, classes, *duration, *rate, *seed, *dataset)
+	report := run(client, baseURL, classes, *duration, *rate, *seed, *dataset, *retry)
 	report.Mix = *mix
 	report.Addr = baseURL
 
@@ -297,8 +302,12 @@ func main() {
 // run fires the open-loop Poisson workload and collects the report.
 // One dispatcher goroutine owns the arrival clock and the shared RNG;
 // every arrival launches a goroutine regardless of how many are still
-// outstanding.
-func run(client *http.Client, baseURL string, classes []*class, duration time.Duration, rate float64, seed int64, dataset string) LoadReport {
+// outstanding. With maxRetry > 0 a shed (503) response is retried up
+// to that many times after a backoff honoring the server's Retry-After
+// hint; only the final shed counts against the class, and the latency
+// recorded for a success covers the successful attempt alone (retries
+// are reported separately, not folded into the distribution).
+func run(client *http.Client, baseURL string, classes []*class, duration time.Duration, rate float64, seed int64, dataset string, maxRetry int) LoadReport {
 	totalWeight := 0
 	for _, c := range classes {
 		totalWeight += c.weight
@@ -323,15 +332,24 @@ func run(client *http.Client, baseURL string, classes []*class, duration time.Du
 			reqRng := mathrand.New(mathrand.NewPCG(uint64(reqSeed), uint64(reqSeed)>>1|1))
 			method, path, body := c.build(reqRng, dataset)
 			c.requests.Add(1)
-			t0 := time.Now()
-			err := fire(client, baseURL, method, path, body, &c.hist)
-			switch {
-			case err == errShed:
-				c.shed.Add(1)
-			case err != nil:
-				c.errors.Add(1)
-			default:
-				c.hist.Record(time.Since(t0))
+			for attempt := 0; ; attempt++ {
+				t0 := time.Now()
+				err := fire(client, baseURL, method, path, body, &c.hist)
+				var shed *shedError
+				switch {
+				case errors.As(err, &shed):
+					if attempt < maxRetry {
+						c.retries.Add(1)
+						time.Sleep(retryDelay(reqRng, attempt, shed.retryAfter))
+						continue
+					}
+					c.shed.Add(1)
+				case err != nil:
+					c.errors.Add(1)
+				default:
+					c.hist.Record(time.Since(t0))
+				}
+				return
 			}
 		}()
 	}
@@ -353,6 +371,7 @@ func run(client *http.Client, baseURL string, classes []*class, duration time.Du
 			Requests:     c.requests.Load(),
 			Errors:       c.errors.Load(),
 			Shed:         c.shed.Load(),
+			Retries:      c.retries.Load(),
 			AchievedRate: float64(s.Count) / elapsed.Seconds(),
 			P50Ms:        ms(s.Quantile(0.50)),
 			P90Ms:        ms(s.Quantile(0.90)),
@@ -363,6 +382,7 @@ func run(client *http.Client, baseURL string, classes []*class, duration time.Du
 		report.Requests += lc.Requests
 		report.Errors += lc.Errors
 		report.Shed += lc.Shed
+		report.Retries += lc.Retries
 		report.Classes = append(report.Classes, lc)
 	}
 	report.AchievedRate = float64(report.Requests-report.Errors) / elapsed.Seconds()
@@ -382,9 +402,32 @@ func pickClass(classes []*class, totalWeight int, rng *mathrand.Rand) *class {
 	return classes[len(classes)-1]
 }
 
-// errShed marks a 503 — the server's explicit backpressure signal,
-// reported separately from errors.
-var errShed = fmt.Errorf("shed (503)")
+// shedError marks a 503 — the server's explicit backpressure signal,
+// reported separately from errors — carrying the Retry-After hint the
+// -retry backoff honors (0 when the header was absent or unparsable).
+type shedError struct{ retryAfter time.Duration }
+
+func (e *shedError) Error() string { return "shed (503)" }
+
+// retryDelay is the pause before retry attempt+1: exponential from
+// 100ms, capped at 2s, with the upper half jittered so retrying
+// clients spread out — and never shorter than the server's Retry-After
+// hint, which knows better (a degraded dataset reports its whole
+// backoff window there).
+func retryDelay(rng *mathrand.Rand, attempt int, retryAfter time.Duration) time.Duration {
+	if attempt > 4 {
+		attempt = 4
+	}
+	d := 100 * time.Millisecond << attempt
+	if d > 2*time.Second {
+		d = 2 * time.Second
+	}
+	d = d/2 + time.Duration(rng.Int64N(int64(d/2)+1))
+	if retryAfter > d {
+		d = retryAfter
+	}
+	return d
+}
 
 // fire sends one request and drains the response. hist is unused here
 // (latency is recorded by the caller so the clock covers exactly one
@@ -409,7 +452,8 @@ func fire(client *http.Client, baseURL, method, path string, body []byte, hist *
 	resp.Body.Close()
 	switch {
 	case resp.StatusCode == http.StatusServiceUnavailable:
-		return errShed
+		ra, _ := strconv.Atoi(resp.Header.Get("Retry-After"))
+		return &shedError{retryAfter: time.Duration(ra) * time.Second}
 	case resp.StatusCode != http.StatusOK:
 		return fmt.Errorf("status %d", resp.StatusCode)
 	}

@@ -4,12 +4,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	mathrand "math/rand/v2"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"regexp"
 	"strconv"
+	"sync"
 	"testing"
 	"time"
 
@@ -55,7 +57,7 @@ func TestLoadAgainstServer(t *testing.T) {
 		t.Fatal(err)
 	}
 	client := &http.Client{Timeout: 10 * time.Second}
-	report := run(client, ts.URL, classes, 1500*time.Millisecond, 60, 7, "dev")
+	report := run(client, ts.URL, classes, 1500*time.Millisecond, 60, 7, "dev", 0)
 
 	if report.Requests == 0 {
 		t.Fatal("no requests fired")
@@ -154,5 +156,78 @@ func TestCheckReportRejectsBadFiles(t *testing.T) {
 		{"name":"enumerate","requests":1,"p50Ms":1,"p90Ms":2,"p99Ms":3,"maxMs":3}]}`
 	if err := checkReport(write("totals.json", bad)); err == nil {
 		t.Error("mismatched totals accepted")
+	}
+}
+
+// TestRetryDelayBounds pins the backoff shape: capped exponential with
+// jitter, never below the server's Retry-After hint.
+func TestRetryDelayBounds(t *testing.T) {
+	rng := mathrand.New(mathrand.NewPCG(1, 2))
+	for attempt := 0; attempt < 10; attempt++ {
+		d := retryDelay(rng, attempt, 0)
+		if d <= 0 || d > 2*time.Second {
+			t.Errorf("attempt %d: delay %v outside (0, 2s]", attempt, d)
+		}
+	}
+	if d := retryDelay(rng, 0, 3*time.Second); d < 3*time.Second {
+		t.Errorf("Retry-After floor ignored: %v < 3s", d)
+	}
+}
+
+// TestRetrySheds drives the generator against a server whose first few
+// answers are 503 + Retry-After: with -retry armed the sheds are
+// retried through (and counted), without it they surface as sheds.
+func TestRetrySheds(t *testing.T) {
+	srv := psn.NewServer(psn.ServeConfig{})
+	var mu sync.Mutex
+	shedsLeft := 3
+	handler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		shed := shedsLeft > 0 && r.URL.Path == "/enumerate"
+		if shed {
+			shedsLeft--
+		}
+		mu.Unlock()
+		if shed {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, `{"error":"shed for test"}`)
+			return
+		}
+		srv.Handler().ServeHTTP(w, r)
+	})
+	ts := httptest.NewServer(handler)
+	defer ts.Close()
+
+	classes, err := parseMix("enumerate=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := &http.Client{Timeout: 10 * time.Second}
+	report := run(client, ts.URL, classes, time.Second, 40, 3, "dev", 2)
+	if report.Retries < 3 {
+		t.Errorf("Retries = %d, want >= 3 (each shed retried)", report.Retries)
+	}
+	if report.Shed != 0 {
+		t.Errorf("Shed = %d, want 0: every shed had retry budget", report.Shed)
+	}
+	if report.Errors != 0 {
+		t.Errorf("Errors = %d, want 0", report.Errors)
+	}
+	if len(report.Classes) != 1 || report.Classes[0].Retries != report.Retries {
+		t.Errorf("per-class retry accounting missing: %+v", report.Classes)
+	}
+
+	// Same shedding server, no retry budget: sheds surface in the report.
+	mu.Lock()
+	shedsLeft = 2
+	mu.Unlock()
+	classes2, _ := parseMix("enumerate=1")
+	report = run(client, ts.URL, classes2, time.Second, 40, 3, "dev", 0)
+	if report.Shed != 2 {
+		t.Errorf("Shed = %d, want 2 with retries off", report.Shed)
+	}
+	if report.Retries != 0 {
+		t.Errorf("Retries = %d, want 0 with retries off", report.Retries)
 	}
 }

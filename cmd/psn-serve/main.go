@@ -35,21 +35,25 @@ import (
 	"time"
 
 	psn "repro"
+	"repro/internal/faultinject"
 	"repro/internal/pathenum"
 	"repro/internal/service"
 )
 
 func main() {
 	var (
-		addr        = flag.String("addr", ":8080", "listen address")
-		workers     = flag.Int("workers", 0, "engine worker goroutines per request (0 = GOMAXPROCS; results are identical)")
-		maxInflight = flag.Int("max-inflight", 0, "max experiment requests in flight (0 = 4x GOMAXPROCS, <0 = unlimited); excess requests get 503")
-		cacheSize   = flag.Int("cache-size", 0, "memoized-result LRU entries (0 = 256, <0 = disable)")
-		artifacts   = flag.String("artifacts", "", "artifact store directory (see psn-warm); warmed graphs and oracle tables load instead of building, with live build as fallback")
-		selfcheck   = flag.Bool("selfcheck", false, "start on an ephemeral port, verify /healthz and /enumerate against the library, and exit")
-		enablePprof = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (bypasses the in-flight limit)")
-		traceSlow   = flag.Duration("trace-slow", 0, "log a structured stage-breakdown line for requests at least this slow (0 = off), e.g. -trace-slow 250ms")
-		accessLog   = flag.Bool("access-log", false, "log one structured line per request (method, path, dataset, status, latency, request ID)")
+		addr         = flag.String("addr", ":8080", "listen address")
+		workers      = flag.Int("workers", 0, "engine worker goroutines per request (0 = GOMAXPROCS; results are identical)")
+		maxInflight  = flag.Int("max-inflight", 0, "max experiment requests in flight (0 = 4x GOMAXPROCS, <0 = unlimited); excess requests get 503")
+		cacheSize    = flag.Int("cache-size", 0, "memoized-result LRU entries (0 = 256, <0 = disable)")
+		artifacts    = flag.String("artifacts", "", "artifact store directory (see psn-warm); warmed graphs and oracle tables load instead of building, with live build as fallback")
+		selfcheck    = flag.Bool("selfcheck", false, "start on an ephemeral port, verify /healthz and /enumerate against the library, and exit")
+		enablePprof  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ (bypasses the in-flight limit)")
+		traceSlow    = flag.Duration("trace-slow", 0, "log a structured stage-breakdown line for requests at least this slow (0 = off), e.g. -trace-slow 250ms")
+		accessLog    = flag.Bool("access-log", false, "log one structured line per request (method, path, dataset, status, latency, request ID)")
+		reqTimeout   = flag.Duration("request-timeout", 0, "deadline per experiment request: compute abandons cooperatively and the client gets 503 + Retry-After (0 = 30s, <0 = no deadline)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown bound: /healthz flips to 503 and in-flight requests get this long to finish")
+		injectSpec   = flag.String("inject", "", "fault-injection spec, e.g. graph-load:corrupt*1,enumerate:delay=200ms,handler:panic (chaos testing only)")
 	)
 	reg := psn.NewRegistry()
 	flag.Func("trace", "register a file-backed dataset as name=path (repeatable)", func(v string) error {
@@ -61,16 +65,27 @@ func main() {
 	})
 	flag.Parse()
 
+	faults, err := faultinject.Parse(*injectSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "psn-serve:", err)
+		os.Exit(2)
+	}
+	if faults != nil {
+		log.Printf("psn-serve: FAULT INJECTION ARMED (-inject %s)", *injectSpec)
+	}
+
 	srv := psn.NewServer(psn.ServeConfig{
-		Registry:    reg,
-		Workers:     *workers,
-		MaxInflight: *maxInflight,
-		CacheSize:   *cacheSize,
-		ArtifactDir: *artifacts,
-		EnablePprof: *enablePprof,
-		TraceSlow:   *traceSlow,
-		AccessLog:   *accessLog,
-		Logger:      slog.New(slog.NewTextHandler(os.Stderr, nil)),
+		Registry:       reg,
+		Workers:        *workers,
+		MaxInflight:    *maxInflight,
+		CacheSize:      *cacheSize,
+		ArtifactDir:    *artifacts,
+		EnablePprof:    *enablePprof,
+		TraceSlow:      *traceSlow,
+		AccessLog:      *accessLog,
+		RequestTimeout: *reqTimeout,
+		Faults:         faults,
+		Logger:         slog.New(slog.NewTextHandler(os.Stderr, nil)),
 	})
 
 	if *selfcheck {
@@ -100,13 +115,17 @@ func main() {
 		log.Fatalf("psn-serve: %v", err)
 	case <-ctx.Done():
 	}
-	// Graceful shutdown: stop accepting, let in-flight requests finish.
-	log.Print("psn-serve: shutting down")
-	shctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	// Graceful shutdown: flip /healthz to 503 first so load balancers
+	// drain traffic away, then stop accepting and give in-flight
+	// requests -drain-timeout to finish.
+	log.Print("psn-serve: draining")
+	srv.SetDraining(true)
+	shctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := hs.Shutdown(shctx); err != nil {
 		log.Fatalf("psn-serve: shutdown: %v", err)
 	}
+	log.Print("psn-serve: drained")
 }
 
 // runSelfcheck starts the server on an ephemeral port, hits /healthz

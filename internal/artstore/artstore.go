@@ -68,6 +68,39 @@ var magic = [8]byte{'P', 'S', 'N', 'A', 'R', 'T', 'F', '\n'}
 // it with errors.Is and fall back to a live build.
 var ErrMiss = errors.New("artstore: artifact unavailable")
 
+// ErrCorrupt additionally marks the Load failures caused by damage to
+// the artifact file itself — bad magic, truncation, checksum mismatch,
+// malformed or inconsistent section tables, or decoded tables the
+// owning package rejects structurally. Benign misses (file absent,
+// format version skew, digest or build-parameter mismatch) do NOT
+// match: those files are valid artifacts for some other input and must
+// be left in place. A corrupt file will fail identically on every
+// future load, so callers should quarantine it (see Store.Quarantine)
+// instead of re-reading and re-failing it on every boot. Every
+// ErrCorrupt error also matches ErrMiss — corruption is still a miss,
+// and the live-build fallback applies unchanged.
+var ErrCorrupt = errors.New("artstore: artifact corrupt")
+
+// CorruptError is the concrete error behind ErrCorrupt matches. Path
+// is the offending file, so a caller holding only the error can
+// quarantine it.
+type CorruptError struct {
+	Path string
+	Err  error
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("%v: %v", ErrCorrupt, e.Err)
+}
+
+func (e *CorruptError) Unwrap() error { return e.Err }
+
+// Is makes errors.Is match both sentinels: ErrCorrupt (quarantine) and
+// ErrMiss (fall back to a live build).
+func (e *CorruptError) Is(target error) bool {
+	return target == ErrCorrupt || target == ErrMiss
+}
+
 // Artifact kinds stored in the header.
 const (
 	kindGraph  = "stgraph"
@@ -175,9 +208,31 @@ func isRegular(path string) bool {
 	return err == nil && info.Mode().IsRegular()
 }
 
-// miss wraps a load failure so errors.Is(err, ErrMiss) holds.
+// miss wraps a benign load failure so errors.Is(err, ErrMiss) holds
+// (but not ErrCorrupt): the file is absent or a valid artifact for a
+// different input, and must stay where it is.
 func miss(format string, args ...any) error {
 	return fmt.Errorf("%w: "+format, append([]any{ErrMiss}, args...)...)
+}
+
+// corrupt wraps a load failure caused by file damage, matching both
+// ErrCorrupt and ErrMiss and carrying the path for quarantining.
+func corrupt(path, format string, args ...any) error {
+	return &CorruptError{Path: path, Err: fmt.Errorf(format, args...)}
+}
+
+// Quarantine renames a corrupt artifact file out of the load path by
+// appending ".quarantined", so later boots miss cleanly (and rebuild)
+// instead of re-reading and re-failing the same bytes, while the file
+// itself is preserved for inspection. It returns the new path. An
+// existing quarantined file of the same name is overwritten — it is
+// the same corrupt artifact.
+func (s *Store) Quarantine(path string) (string, error) {
+	qpath := path + ".quarantined"
+	if err := os.Rename(path, qpath); err != nil {
+		return "", fmt.Errorf("artstore: quarantine: %w", err)
+	}
+	return qpath, nil
 }
 
 // int32Bytes views an int32 slice as raw little-endian bytes. On
@@ -302,23 +357,25 @@ func (s *Store) readFile(path string) (*header, []byte, error) {
 	}
 
 	if len(data) < 20 || [8]byte(data[:8]) != magic {
-		return nil, nil, miss("%s: not an artifact file", path)
+		return nil, nil, corrupt(path, "%s: not an artifact file", path)
 	}
+	// Version skew is a benign miss — the file is a valid artifact of
+	// another build of this software, not damage.
 	if v := binary.LittleEndian.Uint32(data[8:]); v != FormatVersion {
 		return nil, nil, miss("%s: format version %d, want %d", path, v, FormatVersion)
 	}
 	hdrLen := int64(binary.LittleEndian.Uint32(data[12:]))
 	hdrCRC := binary.LittleEndian.Uint32(data[16:])
 	if 20+hdrLen > int64(len(data)) {
-		return nil, nil, miss("%s: truncated header", path)
+		return nil, nil, corrupt(path, "%s: truncated header", path)
 	}
 	hdrJSON := data[20 : 20+hdrLen]
 	if crc32.Checksum(hdrJSON, castagnoli) != hdrCRC {
-		return nil, nil, miss("%s: header checksum mismatch", path)
+		return nil, nil, corrupt(path, "%s: header checksum mismatch", path)
 	}
 	var h header
 	if err := json.Unmarshal(hdrJSON, &h); err != nil {
-		return nil, nil, miss("%s: header: %v", path, err)
+		return nil, nil, corrupt(path, "%s: header: %v", path, err)
 	}
 	return &h, data, nil
 }
@@ -330,12 +387,12 @@ func sectionInt32s(path string, data []byte, sec section) ([]int32, error) {
 	base := align8(20 + int64(binary.LittleEndian.Uint32(data[12:])))
 	off := base + sec.Off
 	if sec.Off < 0 || sec.Count < 0 || sec.Len != int64(sec.Count)*4 || off < base || off+sec.Len > int64(len(data)) {
-		return nil, miss("%s: section %s [%d,%d) outside file of %d bytes",
+		return nil, corrupt(path, "%s: section %s [%d,%d) outside file of %d bytes",
 			path, sec.Name, off, off+sec.Len, len(data))
 	}
 	raw := data[off : off+sec.Len]
 	if crc32.Checksum(raw, castagnoli) != sec.CRC {
-		return nil, miss("%s: section %s checksum mismatch", path, sec.Name)
+		return nil, corrupt(path, "%s: section %s checksum mismatch", path, sec.Name)
 	}
 	if sec.Count == 0 {
 		return nil, nil
@@ -355,7 +412,7 @@ func sectionMap(path string, h *header) (map[string]section, error) {
 	m := make(map[string]section, len(h.Sections))
 	for _, sec := range h.Sections {
 		if _, ok := m[sec.Name]; ok {
-			return nil, miss("%s: duplicate section %s", path, sec.Name)
+			return nil, corrupt(path, "%s: duplicate section %s", path, sec.Name)
 		}
 		m[sec.Name] = sec
 	}
@@ -412,7 +469,9 @@ func (s *Store) LoadGraph(dataset string, delta float64, digest uint64) (*stgrap
 		return nil, err
 	}
 	if h.Kind != kindGraph {
-		return nil, miss("%s: artifact kind %q, want %q", path, h.Kind, kindGraph)
+		// The path encodes the kind, so a mismatch means the file's
+		// contents don't belong at its name — damage, not skew.
+		return nil, corrupt(path, "%s: artifact kind %q, want %q", path, h.Kind, kindGraph)
 	}
 	if h.Dataset != dataset || h.Delta != delta {
 		return nil, miss("%s: built for (%s, delta=%g), want (%s, delta=%g)",
@@ -429,7 +488,7 @@ func (s *Store) LoadGraph(dataset string, delta float64, digest uint64) (*stgrap
 	for i, name := range graphSections {
 		sec, ok := secs[name]
 		if !ok {
-			return nil, miss("%s: missing section %s", path, name)
+			return nil, corrupt(path, "%s: missing section %s", path, name)
 		}
 		if slabs[i], err = sectionInt32s(path, data, sec); err != nil {
 			return nil, err
@@ -455,7 +514,7 @@ func (s *Store) LoadGraph(dataset string, delta float64, digest uint64) (*stgrap
 	}
 	g, err := stgraph.FromSnapshot(snap)
 	if err != nil {
-		return nil, miss("%s: %v", path, err)
+		return nil, corrupt(path, "%s: %v", path, err)
 	}
 	return g, nil
 }
@@ -488,7 +547,8 @@ func (s *Store) LoadOracle(dataset string, digest uint64, tr *trace.Trace) (*dtn
 		return nil, err
 	}
 	if h.Kind != kindOracle {
-		return nil, miss("%s: artifact kind %q, want %q", path, h.Kind, kindOracle)
+		// See LoadGraph: the path encodes the kind.
+		return nil, corrupt(path, "%s: artifact kind %q, want %q", path, h.Kind, kindOracle)
 	}
 	if h.Dataset != dataset {
 		return nil, miss("%s: built for dataset %s, want %s", path, h.Dataset, dataset)
@@ -505,7 +565,7 @@ func (s *Store) LoadOracle(dataset string, digest uint64, tr *trace.Trace) (*dtn
 	}
 	sec, ok := secs["eventOrder"]
 	if !ok {
-		return nil, miss("%s: missing section eventOrder", path)
+		return nil, corrupt(path, "%s: missing section eventOrder", path)
 	}
 	order, err := sectionInt32s(path, data, sec)
 	if err != nil {
@@ -513,7 +573,7 @@ func (s *Store) LoadOracle(dataset string, digest uint64, tr *trace.Trace) (*dtn
 	}
 	o, err := dtnsim.NewOracleFromOrder(tr, order)
 	if err != nil {
-		return nil, miss("%s: %v", path, err)
+		return nil, corrupt(path, "%s: %v", path, err)
 	}
 	return o, nil
 }

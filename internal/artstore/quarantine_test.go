@@ -1,0 +1,137 @@
+package artstore
+
+import (
+	"errors"
+	"os"
+	"testing"
+
+	"repro/internal/stgraph"
+	"repro/internal/tracegen"
+)
+
+// TestCorruptLoadClassification pins the error taxonomy the serving
+// layer's quarantine logic depends on: damaged bytes load as a
+// *CorruptError that matches BOTH ErrCorrupt (so it can be
+// quarantined) and ErrMiss (so fallback-to-build logic written against
+// ErrMiss keeps working), and carries the path of the damaged file.
+func TestCorruptLoadClassification(t *testing.T) {
+	tr := tracegen.Dev(2)
+	g, err := stgraph.New(tr, stgraph.DefaultDelta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := &Store{Dir: t.TempDir()}
+	digest := TraceDigest(tr)
+	path, err := st.SaveGraph("dev", digest, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Flip a payload byte: the section CRC must catch it.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-5] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = st.LoadGraph("dev", g.Delta, digest)
+	if err == nil {
+		t.Fatal("corrupt artifact loaded without error")
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		t.Errorf("corrupt load does not match ErrCorrupt: %v", err)
+	}
+	if !errors.Is(err, ErrMiss) {
+		t.Errorf("corrupt load does not match ErrMiss (fallback contract): %v", err)
+	}
+	var ce *CorruptError
+	if !errors.As(err, &ce) {
+		t.Fatalf("corrupt load is not a *CorruptError: %v", err)
+	}
+	if ce.Path != path {
+		t.Errorf("CorruptError.Path = %q, want %q", ce.Path, path)
+	}
+}
+
+// TestParamSkewIsMissNotCorrupt: a digest or parameter mismatch is a
+// clean miss — the file is healthy, just for different inputs — and
+// must never be classified as corruption (which would quarantine a
+// perfectly good artifact).
+func TestParamSkewIsMissNotCorrupt(t *testing.T) {
+	tr := tracegen.Dev(2)
+	g, err := stgraph.New(tr, stgraph.DefaultDelta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := &Store{Dir: t.TempDir()}
+	if _, err := st.SaveGraph("dev", TraceDigest(tr), g); err != nil {
+		t.Fatal(err)
+	}
+
+	for name, load := range map[string]func() error{
+		"wrong digest": func() error {
+			_, err := st.LoadGraph("dev", g.Delta, TraceDigest(tr)+1)
+			return err
+		},
+		"wrong delta": func() error {
+			_, err := st.LoadGraph("dev", g.Delta*2, TraceDigest(tr))
+			return err
+		},
+		"absent dataset": func() error {
+			_, err := st.LoadGraph("nope", g.Delta, TraceDigest(tr))
+			return err
+		},
+	} {
+		err := load()
+		if !errors.Is(err, ErrMiss) {
+			t.Errorf("%s: err = %v, want ErrMiss", name, err)
+		}
+		if errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: classified as corruption — would quarantine a healthy file", name)
+		}
+	}
+}
+
+// TestQuarantineRenames: Quarantine moves the damaged file aside so
+// the next load is a clean miss, and preserves the bytes under the
+// .quarantined name for inspection.
+func TestQuarantineRenames(t *testing.T) {
+	tr := tracegen.Dev(2)
+	g, err := stgraph.New(tr, stgraph.DefaultDelta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := &Store{Dir: t.TempDir()}
+	digest := TraceDigest(tr)
+	path, err := st.SaveGraph("dev", digest, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	qpath, err := st.Quarantine(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qpath != path+".quarantined" {
+		t.Errorf("quarantined path = %q, want %q", qpath, path+".quarantined")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Errorf("original path still exists after quarantine (stat err %v)", err)
+	}
+	if _, err := os.Stat(qpath); err != nil {
+		t.Errorf("quarantined file missing: %v", err)
+	}
+
+	// Subsequent loads miss cleanly instead of re-reading bad bytes.
+	if _, err := st.LoadGraph("dev", g.Delta, digest); !errors.Is(err, ErrMiss) || errors.Is(err, ErrCorrupt) {
+		t.Errorf("load after quarantine = %v, want a clean ErrMiss", err)
+	}
+
+	// Quarantining a missing file reports the rename failure.
+	if _, err := st.Quarantine(path); err == nil {
+		t.Error("quarantining an absent file succeeded")
+	}
+}

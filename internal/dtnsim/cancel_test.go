@@ -1,0 +1,121 @@
+package dtnsim
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/forward"
+	"repro/internal/trace"
+	"repro/internal/tracegen"
+)
+
+func cancelTestMessages(tr *trace.Trace, n int, seed int64) []Message {
+	rng := rand.New(rand.NewSource(seed))
+	msgs := make([]Message, n)
+	for i := range msgs {
+		src := trace.NodeID(rng.Intn(tr.NumNodes))
+		dst := trace.NodeID(rng.Intn(tr.NumNodes - 1))
+		if dst >= src {
+			dst++
+		}
+		msgs[i] = Message{Src: src, Dst: dst, Start: rng.Float64() * tr.Horizon / 2}
+	}
+	return msgs
+}
+
+// TestRunCancelEquivalence: a never-firing token leaves the Result
+// byte-identical to a run without one, serial and parallel.
+func TestRunCancelEquivalence(t *testing.T) {
+	tr := tracegen.Dev(5)
+	msgs := cancelTestMessages(tr, 40, 5)
+	inert := engine.NewCancel(context.Background(), time.Hour)
+
+	for _, workers := range []int{1, 4} {
+		base := Config{Trace: tr, Algorithm: forward.Epidemic{}, Messages: msgs, Workers: workers}
+		plain, err := Run(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		withToken := base
+		withToken.Cancel = &inert
+		tokenRes, err := Run(withToken)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(plain, tokenRes) {
+			t.Fatalf("workers=%d: Result differs under a never-firing token", workers)
+		}
+	}
+}
+
+// TestRunCancelAbandons: a fired token abandons the replay with a
+// *engine.CanceledError and no Result.
+func TestRunCancelAbandons(t *testing.T) {
+	tr := tracegen.Dev(5)
+	msgs := cancelTestMessages(tr, 40, 5)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cc := engine.NewCancel(ctx, 0)
+
+	for _, workers := range []int{1, 4} {
+		r, err := Run(Config{
+			Trace: tr, Algorithm: forward.Epidemic{}, Messages: msgs,
+			Workers: workers, Cancel: &cc,
+		})
+		if !engine.IsCanceled(err) {
+			t.Fatalf("workers=%d: err = %v, want CanceledError", workers, err)
+		}
+		if r != nil {
+			t.Fatalf("workers=%d: Run returned a Result alongside cancellation", workers)
+		}
+	}
+}
+
+// TestSweepCancelEquivalence covers the pooled path the serving layer
+// actually uses: Sweep.Run with and without an inert token agree, and
+// a fired token abandons without poisoning the pooled sim state (the
+// next uncancelled run over the same Sweep still matches).
+func TestSweepCancelEquivalence(t *testing.T) {
+	tr := tracegen.Dev(5)
+	msgs := cancelTestMessages(tr, 40, 5)
+	sw, err := NewSweep(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Config{Trace: tr, Algorithm: forward.Epidemic{}, Messages: msgs}
+	plain, err := sw.Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	inert := engine.NewCancel(context.Background(), time.Hour)
+	cfg := base
+	cfg.Cancel = &inert
+	tokenRes, err := sw.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, tokenRes) {
+		t.Fatal("Sweep.Run differs under a never-firing token")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	fired := engine.NewCancel(ctx, 0)
+	cfg.Cancel = &fired
+	if r, err := sw.Run(cfg); !engine.IsCanceled(err) || r != nil {
+		t.Fatalf("fired token: r=%v err=%v, want nil result + CanceledError", r, err)
+	}
+
+	again, err := sw.Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, again) {
+		t.Fatal("Result after an abandoned run differs — pooled state poisoned")
+	}
+}

@@ -89,6 +89,13 @@ type Config struct {
 	// with and without an Oracle are byte-identical: the tables are
 	// pure functions of the trace.
 	Oracle *Oracle
+
+	// Cancel optionally threads a cooperative cancellation token
+	// through the replay: every shard polls it a few thousand events
+	// apart and, once it fires, the run abandons with a
+	// *engine.CanceledError and no Result. Nil is inert, and a token
+	// that never fires leaves the Result byte-identical.
+	Cancel *engine.Cancel
 }
 
 // Oracle bundles the read-only per-trace tables a simulation replays:
@@ -262,9 +269,13 @@ func (sw *Sweep) run(cfg Config) (*Result, error) {
 	if workers <= 1 || !parallelizable {
 		s := sw.acquire(1)[0]
 		s.reset(cfg.Algorithm, cfg.CopyMode, sw.oracle, cfg.Messages, 0, 1, outcomes)
+		s.cancel = cfg.Cancel
 		s.run(sw.oracle.events)
-		sent := s.sent
+		sent, canceled := s.sent, s.canceled
 		sw.release(s)
+		if canceled {
+			return nil, cfg.Cancel.FiredErr()
+		}
 		return &Result{Algorithm: cfg.Algorithm.Name(), Outcomes: outcomes, Transmissions: sent}, nil
 	}
 
@@ -273,23 +284,24 @@ func (sw *Sweep) run(cfg Config) (*Result, error) {
 	// its own View (and algorithm clone), so every message sees
 	// exactly the state it would have seen in a serial run; outcomes
 	// land at their global index and transmission counts add up.
+	// engine.Map supplies the fan-out so a shard panic is captured and
+	// re-raised on this goroutine instead of killing the process.
 	sims := sw.acquire(workers)
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func(w int) {
-			defer wg.Done()
-			s := sims[w]
-			s.reset(algs[w], cfg.CopyMode, sw.oracle, cfg.Messages, w, workers, outcomes)
-			s.run(sw.oracle.events)
-		}(w)
-	}
-	wg.Wait()
-	total := 0
+	engine.Map(workers, workers, func(w int) {
+		s := sims[w]
+		s.reset(algs[w], cfg.CopyMode, sw.oracle, cfg.Messages, w, workers, outcomes)
+		s.cancel = cfg.Cancel
+		s.run(sw.oracle.events)
+	})
+	total, canceled := 0, false
 	for _, s := range sims {
 		total += s.sent
+		canceled = canceled || s.canceled
 	}
 	sw.release(sims...)
+	if canceled {
+		return nil, cfg.Cancel.FiredErr()
+	}
 	return &Result{Algorithm: cfg.Algorithm.Name(), Outcomes: outcomes, Transmissions: total}, nil
 }
 
@@ -319,6 +331,7 @@ func (sw *Sweep) release(sims ...*sim) {
 	sw.mu.Lock()
 	for _, s := range sims {
 		s.alg, s.obs = nil, nil
+		s.cancel = nil
 		s.messages, s.outcomes = nil, nil
 		if len(sw.pool) < sw.poolCap {
 			sw.pool = append(sw.pool, s)
@@ -510,6 +523,9 @@ type sim struct {
 	base     int       // first global message index of this shard
 	stride   int       // worker count of the run
 	sent     int       // total copy transfers, including deliveries
+
+	cancel   *engine.Cancel // the run's cancellation token (nil: inert)
+	canceled bool           // a replay checkpoint saw it fire
 }
 
 // reset prepares the sim for one run: shard [base::stride] of messages
@@ -522,6 +538,7 @@ func (s *sim) reset(alg forward.Algorithm, mode CopyMode, oracle *Oracle, messag
 	s.messages, s.outcomes = messages, outcomes
 	s.base, s.stride = base, stride
 	s.sent = 0
+	s.canceled = false
 
 	s.obs = nil
 	if st, ok := alg.(forward.Stateful); ok {
@@ -633,13 +650,28 @@ func (s *sim) copiesRow(id int) []int16 { return s.copies[id*s.n : (id+1)*s.n] }
 // sorting; they are then merged into the pre-sorted contact stream in
 // linear time, in exactly the (time, kind) order sortEvents produces.
 func (s *sim) run(contactEvents []event) {
+	// Entry checkpoint: a token that fired before the replay started
+	// (request already timed out while queued) abandons immediately,
+	// even on traces smaller than the amortized poll interval below.
+	if s.cancel.Stopped() {
+		s.canceled = true
+		return
+	}
 	s.creates = s.creates[:0]
 	for i := range s.msgs {
 		s.creates = append(s.creates, event{time: s.msgs[i].msg.Start, kind: evMsgCreate, msg: int32(i), seq: int32(i)})
 	}
 	sortEvents(s.creates)
 	i, j := 0, 0
-	for i < len(contactEvents) || j < len(s.creates) {
+	for n := 0; i < len(contactEvents) || j < len(s.creates); n++ {
+		// Amortized cancellation checkpoint: a few thousand events cost
+		// well under a millisecond, so a fired token stops the replay
+		// promptly without a per-event poll. The abandoned shard's
+		// partial outcomes are discarded by the caller.
+		if n&4095 == 4095 && s.cancel.Stopped() {
+			s.canceled = true
+			return
+		}
 		var ev event
 		if j >= len(s.creates) || (i < len(contactEvents) && eventBefore(contactEvents[i], s.creates[j])) {
 			ev = contactEvents[i]

@@ -1,0 +1,148 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// CanceledError reports that a computation stopped at a cooperative
+// cancellation checkpoint before completing. Cause is the triggering
+// condition: context.Canceled when the caller (e.g. a disconnected
+// HTTP client) gave up, context.DeadlineExceeded when a deadline
+// passed. It unwraps to Cause, so errors.Is(err, context.Canceled)
+// and errors.Is(err, context.DeadlineExceeded) distinguish the two.
+type CanceledError struct {
+	Cause error
+}
+
+func (e *CanceledError) Error() string {
+	return fmt.Sprintf("engine: computation canceled: %v", e.Cause)
+}
+
+func (e *CanceledError) Unwrap() error { return e.Cause }
+
+// IsCanceled reports whether err is (or wraps) a CanceledError.
+func IsCanceled(err error) bool {
+	var ce *CanceledError
+	return errors.As(err, &ce)
+}
+
+// Cancel is a cooperative cancellation token threaded through the
+// compute layers (pathenum's dynamic program, dtnsim's event replay,
+// stgraph's frame construction). It combines two stop conditions — a
+// context (client disconnect) and a wall-clock deadline (request
+// timeout) — behind one amortized poll, with no watcher goroutine and
+// no per-request timer: Stopped reads ctx.Err() and the clock only
+// when called, so callers poll it every few thousand work units and
+// pay nanoseconds per check.
+//
+// A nil *Cancel (and the zero value) is fully inert: Stopped is one
+// pointer/field check, Err returns nil, Wait blocks until done. Hot
+// loops therefore carry the token unconditionally and benchmarks that
+// pass nil measure the uncancellable baseline.
+//
+// Cancellation never changes results: a computation either completes
+// — byte-identical to one run without a token — or abandons with a
+// CanceledError and no result at all.
+type Cancel struct {
+	ctx      context.Context // optional; nil means no context condition
+	deadline time.Time       // optional; zero means no deadline
+}
+
+// NewCancel builds a token that stops when ctx is done or, when
+// timeout is positive, after timeout elapses from now. A nil ctx and
+// non-positive timeout yield an inert token.
+func NewCancel(ctx context.Context, timeout time.Duration) Cancel {
+	c := Cancel{}
+	if ctx != nil && ctx.Done() != nil {
+		c.ctx = ctx
+	}
+	if timeout > 0 {
+		c.deadline = time.Now().Add(timeout)
+	}
+	return c
+}
+
+// Stopped reports whether the token has fired. It is the amortized
+// poll for hot loops: a nil or inert receiver costs a branch; a live
+// one costs a ctx.Err() load and at most one clock read.
+func (c *Cancel) Stopped() bool {
+	if c == nil {
+		return false
+	}
+	if c.ctx != nil && c.ctx.Err() != nil {
+		return true
+	}
+	return !c.deadline.IsZero() && time.Now().After(c.deadline)
+}
+
+// Err returns nil while the token has not fired, and a *CanceledError
+// wrapping the triggering cause once it has. The context condition
+// wins ties, so a request that disconnected and timed out reports the
+// disconnect.
+func (c *Cancel) Err() error {
+	if c == nil {
+		return nil
+	}
+	if c.ctx != nil {
+		if cause := c.ctx.Err(); cause != nil {
+			return &CanceledError{Cause: cause}
+		}
+	}
+	if !c.deadline.IsZero() && time.Now().After(c.deadline) {
+		return &CanceledError{Cause: context.DeadlineExceeded}
+	}
+	return nil
+}
+
+// FiredErr is Err for callers whose checkpoint already observed the
+// token fire: unlike Err it never returns nil, falling back to a
+// DeadlineExceeded cause if the conditions cannot be re-observed (a
+// defensive path; both conditions are monotonic once fired). It keeps
+// "canceled computation, nil error" unrepresentable at abandon sites.
+func (c *Cancel) FiredErr() error {
+	if err := c.Err(); err != nil {
+		return err
+	}
+	return &CanceledError{Cause: context.DeadlineExceeded}
+}
+
+// Wait blocks until done closes or the token fires, returning nil in
+// the first case and the token's Err in the second. It is how
+// singleflight waiters (cache fills, registry builds) respect request
+// cancellation without aborting the shared computation they joined:
+// the leader keeps computing for everyone else. The already-closed
+// fast path costs no timer; a live deadline allocates one only while
+// actually blocking.
+func (c *Cancel) Wait(done <-chan struct{}) error {
+	select {
+	case <-done:
+		return nil
+	default:
+	}
+	if c == nil || (c.ctx == nil && c.deadline.IsZero()) {
+		<-done
+		return nil
+	}
+	var ctxDone <-chan struct{}
+	if c.ctx != nil {
+		ctxDone = c.ctx.Done()
+	}
+	var timer *time.Timer
+	var expired <-chan time.Time
+	if !c.deadline.IsZero() {
+		timer = time.NewTimer(time.Until(c.deadline))
+		defer timer.Stop()
+		expired = timer.C
+	}
+	select {
+	case <-done:
+		return nil
+	case <-ctxDone:
+		return &CanceledError{Cause: c.ctx.Err()}
+	case <-expired:
+		return &CanceledError{Cause: context.DeadlineExceeded}
+	}
+}

@@ -1,0 +1,199 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCancelNilAndZeroAreInert(t *testing.T) {
+	var nilCC *Cancel
+	var zero Cancel
+	for _, tc := range []struct {
+		name string
+		cc   *Cancel
+	}{
+		{"nil", nilCC},
+		{"zero", &zero},
+	} {
+		if tc.cc.Stopped() {
+			t.Errorf("%s token: Stopped() = true, want false", tc.name)
+		}
+		if err := tc.cc.Err(); err != nil {
+			t.Errorf("%s token: Err() = %v, want nil", tc.name, err)
+		}
+		done := make(chan struct{})
+		close(done)
+		if err := tc.cc.Wait(done); err != nil {
+			t.Errorf("%s token: Wait(closed) = %v, want nil", tc.name, err)
+		}
+	}
+	// FiredErr never returns nil, even on an inert token.
+	if err := nilCC.FiredErr(); !IsCanceled(err) {
+		t.Errorf("nil FiredErr() = %v, want a CanceledError", err)
+	}
+}
+
+func TestNewCancelDropsInertConditions(t *testing.T) {
+	// context.Background has a nil Done channel: no condition to watch.
+	cc := NewCancel(context.Background(), 0)
+	if cc.ctx != nil || !cc.deadline.IsZero() {
+		t.Errorf("NewCancel(Background, 0) kept conditions: ctx=%v deadline=%v", cc.ctx, cc.deadline)
+	}
+	cc = NewCancel(nil, -time.Second)
+	if cc.ctx != nil || !cc.deadline.IsZero() {
+		t.Error("NewCancel(nil, negative) is not inert")
+	}
+}
+
+func TestCancelDeadlineFires(t *testing.T) {
+	cc := NewCancel(nil, time.Nanosecond)
+	time.Sleep(2 * time.Millisecond)
+	if !cc.Stopped() {
+		t.Fatal("deadline passed but Stopped() = false")
+	}
+	err := cc.Err()
+	if !IsCanceled(err) {
+		t.Fatalf("Err() = %v, want CanceledError", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("Err() cause = %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestCancelContextFires(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cc := NewCancel(ctx, 0)
+	if cc.Stopped() {
+		t.Fatal("Stopped() before cancel")
+	}
+	cancel()
+	if !cc.Stopped() {
+		t.Fatal("Stopped() = false after context cancel")
+	}
+	if err := cc.Err(); !errors.Is(err, context.Canceled) {
+		t.Errorf("Err() = %v, want cause context.Canceled", err)
+	}
+}
+
+func TestCancelContextWinsTies(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cc := NewCancel(ctx, time.Nanosecond)
+	time.Sleep(2 * time.Millisecond) // both conditions have fired
+	if err := cc.Err(); !errors.Is(err, context.Canceled) {
+		t.Errorf("Err() = %v, want the context cause to win", err)
+	}
+}
+
+func TestCancelWait(t *testing.T) {
+	// Unfired deadline: Wait blocks until done closes.
+	cc := NewCancel(nil, time.Hour)
+	done := make(chan struct{})
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		close(done)
+	}()
+	if err := cc.Wait(done); err != nil {
+		t.Fatalf("Wait with future deadline = %v, want nil", err)
+	}
+
+	// Fired deadline, done never closes: Wait returns promptly.
+	cc = NewCancel(nil, time.Nanosecond)
+	time.Sleep(2 * time.Millisecond)
+	start := time.Now()
+	err := cc.Wait(make(chan struct{}))
+	if !IsCanceled(err) {
+		t.Fatalf("Wait with expired deadline = %v, want CanceledError", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Errorf("Wait took %v to notice an expired deadline", d)
+	}
+
+	// Context cancellation unblocks Wait mid-block.
+	ctx, cancel := context.WithCancel(context.Background())
+	cc = NewCancel(ctx, 0)
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+	}()
+	if err := cc.Wait(make(chan struct{})); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait under context cancel = %v, want cause Canceled", err)
+	}
+}
+
+func TestIsCanceledWrapped(t *testing.T) {
+	inner := &CanceledError{Cause: context.DeadlineExceeded}
+	wrapped := errors.Join(errors.New("outer"), inner)
+	if !IsCanceled(wrapped) {
+		t.Error("IsCanceled misses a wrapped CanceledError")
+	}
+	if IsCanceled(errors.New("plain")) {
+		t.Error("IsCanceled accepts a plain error")
+	}
+	if IsCanceled(nil) {
+		t.Error("IsCanceled accepts nil")
+	}
+}
+
+// TestMapWorkersPanicPropagates pins the panic-isolation contract: a
+// panic on a worker goroutine surfaces on the caller's goroutine as a
+// *PanicError carrying the original value and the worker's stack, and
+// every other item still runs (workers drain the queue before the
+// panic is re-raised).
+func TestMapWorkersPanicPropagates(t *testing.T) {
+	const workers = 4
+	seen := make([]bool, 64)
+	var pe *PanicError
+	func() {
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Fatal("panic did not propagate")
+			}
+			var ok bool
+			pe, ok = r.(*PanicError)
+			if !ok {
+				t.Fatalf("recovered %T, want *PanicError", r)
+			}
+		}()
+		MapWorkers(workers, len(seen), func(w, i int) {
+			seen[i] = true
+			if i == 17 {
+				panic("boom at 17")
+			}
+		})
+	}()
+	if pe.Value != "boom at 17" {
+		t.Errorf("PanicError.Value = %v", pe.Value)
+	}
+	if !strings.Contains(string(pe.Stack), "goroutine") {
+		t.Errorf("PanicError.Stack missing a stack trace")
+	}
+	if !strings.Contains(pe.Error(), "boom at 17") {
+		t.Errorf("Error() = %q does not name the panic", pe.Error())
+	}
+	for i, s := range seen {
+		if !s {
+			t.Fatalf("item %d never ran despite panic isolation", i)
+		}
+	}
+}
+
+// With one worker everything runs inline, so a panic propagates raw on
+// the caller's goroutine — no wrapping, exactly like a serial loop.
+func TestMapWorkersSerialPanicIsRaw(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "serial boom" {
+			t.Fatalf("recovered %v, want the raw panic value", r)
+		}
+	}()
+	MapWorkers(1, 4, func(w, i int) {
+		if i == 2 {
+			panic("serial boom")
+		}
+	})
+	t.Fatal("unreachable")
+}

@@ -16,10 +16,28 @@
 package engine
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
+
+// PanicError carries a panic recovered on a worker goroutine, with the
+// worker's stack captured at recovery. MapWorkers re-raises it as a
+// panic value on the calling goroutine, so a crash inside a parallel
+// region surfaces exactly where a serial run would have crashed — and
+// a recover() there (e.g. the serving layer's recovery middleware) can
+// isolate it instead of the runtime killing the process because the
+// panic happened on an unrecovered goroutine.
+type PanicError struct {
+	Value any    // the recovered panic value
+	Stack []byte // the panicking worker's stack
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("engine: worker panic: %v", e.Value)
+}
 
 // Workers resolves a worker-count knob: n itself when positive,
 // otherwise runtime.GOMAXPROCS(0). Every concurrency option in this
@@ -48,6 +66,13 @@ func Map(workers, n int, fn func(i int)) {
 // beforehand) without locking or pooling. Which items land on which
 // slot is scheduling-dependent; determinism still requires fn's effect
 // on item i's output to be independent of w.
+//
+// A panic inside fn on a worker goroutine is recovered, the remaining
+// items still run (so sibling workers drain normally and no caller
+// state is left half-synchronized), and MapWorkers then re-panics on
+// the calling goroutine with a *PanicError wrapping the first
+// recovered value and its worker stack. With one worker the panic
+// propagates directly — it is already on the caller's goroutine.
 func MapWorkers(workers, n int, fn func(worker, i int)) {
 	if n <= 0 {
 		return
@@ -62,6 +87,7 @@ func MapWorkers(workers, n int, fn func(worker, i int)) {
 		}
 		return
 	}
+	var panicked atomic.Pointer[PanicError]
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
@@ -73,11 +99,25 @@ func MapWorkers(workers, n int, fn func(worker, i int)) {
 				if i >= n {
 					return
 				}
-				fn(w, i)
+				runItem(&panicked, w, i, fn)
 			}
 		}(w)
 	}
 	wg.Wait()
+	if pe := panicked.Load(); pe != nil {
+		panic(pe)
+	}
+}
+
+// runItem runs one work item, converting a panic into a recorded
+// *PanicError (first panic wins) instead of killing the process.
+func runItem(panicked *atomic.Pointer[PanicError], w, i int, fn func(worker, i int)) {
+	defer func() {
+		if v := recover(); v != nil {
+			panicked.CompareAndSwap(nil, &PanicError{Value: v, Stack: debug.Stack()})
+		}
+	}()
+	fn(w, i)
 }
 
 // MapErr runs fn(i) for every i in [0, n) like Map and returns the

@@ -76,7 +76,8 @@ type Trace struct {
 	// ID tags the request in logs and the X-Psn-Request header.
 	ID uint64
 
-	ns [NumStages]atomic.Int64
+	ns        [NumStages]atomic.Int64
+	truncated atomic.Bool
 }
 
 // Reset clears the accumulated stage times for reuse.
@@ -84,6 +85,23 @@ func (t *Trace) Reset() {
 	for i := range t.ns {
 		t.ns[i].Store(0)
 	}
+	t.truncated.Store(false)
+}
+
+// MarkTruncated flags the trace as covering only part of its request:
+// the serving layer sets it when a computation is abandoned at a
+// cancellation checkpoint, so log lines carrying the stage breakdown
+// can say the numbers undercount the work a full run would have done.
+// No-op on a nil Trace.
+func (t *Trace) MarkTruncated() {
+	if t != nil {
+		t.truncated.Store(true)
+	}
+}
+
+// Truncated reports whether MarkTruncated was called since Reset.
+func (t *Trace) Truncated() bool {
+	return t != nil && t.truncated.Load()
 }
 
 // Start opens a span for stage s. On a nil Trace it returns an inert

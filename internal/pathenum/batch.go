@@ -44,6 +44,16 @@ func (e *Enumerator) EnumerateAll(msgs []Message) ([]*Result, error) {
 // trace's atomic accumulation sums wall time across workers. A nil ot
 // costs one pointer check per phase boundary.
 func (e *Enumerator) EnumerateAllObs(msgs []Message, ot *obs.Trace) ([]*Result, error) {
+	return e.EnumerateAllCancel(msgs, ot, nil)
+}
+
+// EnumerateAllCancel is EnumerateAllObs with a cooperative cancellation
+// token threaded into every group's dynamic program (see
+// EnumerateCancel). Once cc fires the batch abandons: in-flight groups
+// stop at their next checkpoint, queued groups return immediately, and
+// the call reports a *engine.CanceledError with no results. A nil cc —
+// what EnumerateAll and EnumerateAllObs pass — is inert.
+func (e *Enumerator) EnumerateAllCancel(msgs []Message, ot *obs.Trace, cc *engine.Cancel) ([]*Result, error) {
 	for i := range msgs {
 		if err := e.validateMessage(msgs[i]); err != nil {
 			return nil, fmt.Errorf("message %d: %w", i, err)
@@ -67,22 +77,30 @@ func (e *Enumerator) EnumerateAllObs(msgs []Message, ot *obs.Trace) ([]*Result, 
 	}
 	out := make([]*Result, len(msgs))
 	err := engine.MapErr(e.opt.Workers, len(order), func(gi int) error {
+		if cc.Stopped() {
+			// Shed queued groups without spinning up their dynamic
+			// programs; groups already running stop at their own
+			// checkpoints.
+			return cc.FiredErr()
+		}
 		k := order[gi]
 		idxs := groups[k]
 		if len(idxs) == 1 {
 			// Nothing to share: the plain pooled-scratch path. The whole
 			// run is one private continuation with an empty prefix.
 			sp := ot.Start(obs.StageEnumFork)
-			r, err := e.Enumerate(msgs[idxs[0]])
+			r, err := e.enumerate(msgs[idxs[0]], cc)
 			sp.End()
 			if err != nil {
+				if engine.IsCanceled(err) {
+					return err
+				}
 				return fmt.Errorf("message %d: %w", idxs[0], err)
 			}
 			out[idxs[0]] = r
 			return nil
 		}
-		e.enumerateGroup(k.src, k.s0, idxs, msgs, out, ot)
-		return nil
+		return e.enumerateGroup(k.src, k.s0, idxs, msgs, out, ot, cc)
 	})
 	if err != nil {
 		return nil, err
@@ -97,8 +115,11 @@ func (e *Enumerator) EnumerateAllObs(msgs []Message, ot *obs.Trace) ([]*Result, 
 // is forked, and the fork runs the remaining steps with the
 // destination live. Forks run strictly one at a time, so the layered
 // arenas never race the base; results are materialized out of each
-// fork before the next advances the base.
-func (e *Enumerator) enumerateGroup(src trace.NodeID, s0 int, idxs []int, msgs []Message, out []*Result, ot *obs.Trace) {
+// fork before the next advances the base. A fired cc abandons the
+// group at the next checkpoint (prefix or fork alike) and returns a
+// *engine.CanceledError; results already materialized into out stay —
+// the batch call discards them.
+func (e *Enumerator) enumerateGroup(src trace.NodeID, s0 int, idxs []int, msgs []Message, out []*Result, ot *obs.Trace, cc *engine.Cancel) error {
 	type job struct {
 		mi int // index into msgs/out
 		fa int // first step >= s0 at which the destination has contacts
@@ -116,26 +137,33 @@ func (e *Enumerator) enumerateGroup(src trace.NodeID, s0 int, idxs []int, msgs [
 		jobs = append(jobs, job{mi: mi, fa: fa})
 	}
 	if len(jobs) == 0 {
-		return
+		return nil
 	}
 	sort.Slice(jobs, func(a, b int) bool { return jobs[a].fa < jobs[b].fa })
 
 	sp := ot.Start(obs.StageEnumPrefix)
 	sc0 := e.getScratch()
 	sc0.prepare()
+	sc0.cancel = cc
 	e.seed(sc0, src, s0)
 	sp.End()
-	// Destination-free steps record no arrivals and never finish, so
-	// the result sink is never written; see step.
+	// Destination-free steps record no arrivals and never finish —
+	// the result sink is never written and step only reports true on
+	// cancellation; see step.
 	sink := &Result{}
 	cur := s0
 	var fk *scratch
 	for _, j := range jobs {
 		sp = ot.Start(obs.StageEnumPrefix)
 		for ; cur < j.fa; cur++ {
-			e.step(sc0, cur, -1, sink)
+			if e.step(sc0, cur, -1, sink) {
+				break
+			}
 		}
 		sp.End()
+		if sc0.canceled {
+			break
+		}
 		sp = ot.Start(obs.StageEnumFork)
 		fk = e.forkScratch(sc0, fk)
 		res := &Result{Msg: msgs[j.mi], Delta: e.g.Delta}
@@ -144,13 +172,24 @@ func (e *Enumerator) enumerateGroup(src trace.NodeID, s0 int, idxs []int, msgs [
 				break
 			}
 		}
+		if fk.canceled {
+			sp.End()
+			break
+		}
 		materializeArrivals(fk, res)
 		out[j.mi] = res
 		sp.End()
 	}
+	canceled := sc0.canceled || (fk != nil && fk.canceled)
 	// The forks' layered arenas aliased sc0's chunks, but every fork is
-	// dead (its arrivals materialized) by now, so pooling sc0 is safe.
+	// dead (its arrivals materialized or abandoned) by now, so pooling
+	// sc0 is safe.
+	sc0.cancel = nil
 	e.pool.Put(sc0)
+	if canceled {
+		return cc.FiredErr()
+	}
+	return nil
 }
 
 // firstActive returns the first step at or after s0 in which node d
@@ -205,6 +244,11 @@ func (e *Enumerator) forkScratch(base, reuse *scratch) *scratch {
 		}
 		sc.arrivals = sc.arrivals[:0]
 	}
+	// Forks poll the group's token; a reused fork may have been
+	// abandoned canceled, but then the group stops before forking again,
+	// so resetting the flag here is only for symmetry.
+	sc.cancel = base.cancel
+	sc.canceled = false
 	copy(sc.bound, base.bound)
 	copy(sc.stamp, base.stamp)
 	for i, t := range base.table {

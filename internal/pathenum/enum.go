@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/engine"
 	"repro/internal/stgraph"
 	"repro/internal/trace"
 )
@@ -188,6 +189,13 @@ type scratch struct {
 	hist  []int32
 	dirty []int32
 
+	// cancel is the run's cooperative cancellation token (nil when the
+	// caller did not pass one); canceled records that a checkpoint saw
+	// it fire, making step report "finished" so the loops unwind. The
+	// scratch is then discarded result-free — prepare resets both.
+	cancel   *engine.Cancel
+	canceled bool
+
 	// stamp[i] is the last step whose merge, prune or seed changed
 	// node i's table. Together with the graph's stable-component
 	// marks it drives the static-component skip: a component whose
@@ -274,9 +282,10 @@ func (sc *scratch) prepare() {
 		sc.bound[i] = boundInf
 		sc.stamp[i] = -2
 	}
-	// A MaxArrivals stop can abandon a step mid-phase; clean the
-	// histogram state its accepts left behind.
+	// A MaxArrivals stop (or a cancellation checkpoint) can abandon a
+	// step mid-phase; clean the histogram state its accepts left behind.
 	sc.clearHists()
+	sc.canceled = false
 	sc.arrivals = sc.arrivals[:0]
 	sc.arena.reset()
 	sc.rows.reset()
@@ -370,15 +379,36 @@ func (e *Enumerator) validateMessage(msg Message) error {
 
 // Enumerate runs the Figure 3 dynamic program for one message.
 func (e *Enumerator) Enumerate(msg Message) (*Result, error) {
+	return e.enumerate(msg, nil)
+}
+
+// EnumerateCancel is Enumerate with a cooperative cancellation token:
+// the dynamic program polls cc at every step boundary (and, within a
+// step, every few hundred extension roots) and abandons with a
+// *engine.CanceledError once it fires. A nil cc costs one branch per
+// checkpoint, and a token that never fires changes nothing: the result
+// is byte-identical to a plain Enumerate.
+func (e *Enumerator) EnumerateCancel(msg Message, cc *engine.Cancel) (*Result, error) {
+	return e.enumerate(msg, cc)
+}
+
+func (e *Enumerator) enumerate(msg Message, cc *engine.Cancel) (*Result, error) {
 	if err := e.validateMessage(msg); err != nil {
 		return nil, err
 	}
 	sc := e.getScratch()
+	sc.cancel = cc
 	res := e.run(sc, msg)
+	if sc.canceled {
+		sc.cancel = nil
+		e.pool.Put(sc)
+		return nil, cc.FiredErr()
+	}
 	// The arrival chains live in the scratch's arena as index-linked
 	// pnodes; materialize them into one compact slab of public Path
 	// values before the scratch (and arena) goes back to the pool.
 	materializeArrivals(sc, res)
+	sc.cancel = nil
 	e.pool.Put(sc)
 	return res, nil
 }
@@ -419,6 +449,15 @@ func (e *Enumerator) seed(sc *scratch, src trace.NodeID, s0 int) {
 // reports whether enumeration is finished (arrival budget met or every
 // path invalidated).
 func (e *Enumerator) step(sc *scratch, s int, dst trace.NodeID, res *Result) bool {
+	// Cancellation checkpoint, once per step: report "finished" so the
+	// caller's loop unwinds; sc.canceled tells it no result exists.
+	// Mid-phase abandonment is safe by the same argument as the
+	// MaxArrivals stop — prepare/clearHists reset everything a partial
+	// step leaves behind.
+	if sc.canceled || sc.cancel.Stopped() {
+		sc.canceled = true
+		return true
+	}
 	n := e.tr.NumNodes
 	v := e.g.View(s)
 	table, cands, thresh := sc.table, sc.cands, sc.thresh
@@ -460,6 +499,14 @@ func (e *Enumerator) step(sc *scratch, s int, dst trace.NodeID, res *Result) boo
 	// roots whose candidates the bounds — tightened by earlier
 	// accepts — would reject anyway.
 	for i := 0; i < n; i++ {
+		// Amortized mid-step checkpoint: dense steps on city-scale
+		// traces take milliseconds, so polling every few hundred
+		// extension roots bounds the post-cancel overrun without
+		// measurable cost on the hot path.
+		if i&511 == 511 && sc.cancel.Stopped() {
+			sc.canceled = true
+			return true
+		}
 		paths := table[i]
 		if len(paths) == 0 || thresh[i] == skipAll {
 			continue

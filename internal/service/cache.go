@@ -2,16 +2,28 @@ package service
 
 import (
 	"container/list"
+	"fmt"
 	"sync"
+
+	"repro/internal/engine"
 )
 
-// memo is a single-flight cache slot: the first caller computes, every
-// other caller for the same key blocks on that computation and shares
-// the result (the same discipline as the figure harness caches).
-type memo[V any] struct {
-	once sync.Once
-	val  V
-	err  error
+// runFill executes a leader's cache fill, guaranteeing done closes
+// even if the fill panics: the panic is recorded as the entry's error
+// — so waiters fail cleanly instead of hanging on a channel nobody
+// will ever close — and then re-raised for the leader's own recovery
+// middleware. The errored entry self-heals: the next caller observes
+// the error and unpins the slot.
+func runFill(fill func(), errp *error, done chan struct{}) {
+	defer func() {
+		if r := recover(); r != nil {
+			*errp = fmt.Errorf("service: panic during cache fill: %v", r)
+			close(done)
+			panic(r)
+		}
+		close(done)
+	}()
+	fill()
 }
 
 // memoMap is a size-bounded singleflight cache for the per-dataset
@@ -24,6 +36,13 @@ type memo[V any] struct {
 // lookup and recency bookkeeping; computations for distinct keys run
 // in parallel, and an entry evicted mid-computation simply finishes
 // for its waiters.
+//
+// Singleflight is a done channel rather than a sync.Once so waiters
+// can respect their own cancellation token: the entry's creator (the
+// leader) computes synchronously and closes done; every other caller
+// for the same key waits via cc.Wait, abandoning the wait — but never
+// the leader's computation, which finishes for whoever remains — when
+// its request deadline fires or its client disconnects.
 type memoMap[K comparable, V any] struct {
 	mu    sync.Mutex
 	max   int        // entry bound; <= 0 means unbounded
@@ -32,8 +51,10 @@ type memoMap[K comparable, V any] struct {
 }
 
 type memoEntry[K comparable, V any] struct {
-	key K
-	memo[V]
+	key  K
+	done chan struct{} // closed once val/err are set
+	val  V
+	err  error
 }
 
 func newMemoMap[K comparable, V any](max int) *memoMap[K, V] {
@@ -41,26 +62,39 @@ func newMemoMap[K comparable, V any](max int) *memoMap[K, V] {
 }
 
 // get returns the value for k, computing it at most once while cached.
-func (c *memoMap[K, V]) get(k K, f func() (V, error)) (V, error) {
+// The first caller for an uncached key computes f with its own token
+// live inside; later callers block on that computation via cc.Wait and
+// return their own *engine.CanceledError if cc fires first. Errors are
+// not pinned: a failed slot is dropped so the next request retries.
+func (c *memoMap[K, V]) get(cc *engine.Cancel, k K, f func() (V, error)) (V, error) {
 	c.mu.Lock()
-	el, ok := c.byKey[k]
-	if ok {
+	var e *memoEntry[K, V]
+	leader := false
+	if el, ok := c.byKey[k]; ok {
 		c.order.MoveToFront(el)
+		e = el.Value.(*memoEntry[K, V])
 	} else {
-		el = c.order.PushFront(&memoEntry[K, V]{key: k})
-		c.byKey[k] = el
+		e = &memoEntry[K, V]{key: k, done: make(chan struct{})}
+		c.byKey[k] = c.order.PushFront(e)
+		leader = true
 		for c.max > 0 && c.order.Len() > c.max {
 			back := c.order.Back()
 			c.order.Remove(back)
 			delete(c.byKey, back.Value.(*memoEntry[K, V]).key)
 		}
 	}
-	e := el.Value.(*memoEntry[K, V])
 	c.mu.Unlock()
-	e.once.Do(func() { e.val, e.err = f() })
+
+	if leader {
+		runFill(func() { e.val, e.err = f() }, &e.err, e.done)
+	} else if err := cc.Wait(e.done); err != nil {
+		var zero V
+		return zero, err
+	}
 	if e.err != nil {
 		// Don't pin failures: a later call may succeed (e.g. a
-		// transient build error), and errored slots would otherwise
+		// transient build error, or a build the leader abandoned at a
+		// cancellation checkpoint), and errored slots would otherwise
 		// occupy the map until evicted.
 		c.mu.Lock()
 		if cur, ok := c.byKey[k]; ok && cur.Value.(*memoEntry[K, V]) == e {
@@ -77,7 +111,9 @@ func (c *memoMap[K, V]) get(k K, f func() (V, error)) (V, error) {
 // under concurrent requests for the same key. Values must be immutable
 // once returned (the serving layer stores marshaled response bytes).
 // Entries evicted while still being computed simply finish for their
-// waiters and are recomputed on the next request.
+// waiters and are recomputed on the next request. Waiters joining an
+// in-progress computation respect their own cancellation token, same
+// discipline as memoMap.
 type lruCache struct {
 	mu    sync.Mutex
 	max   int
@@ -89,7 +125,9 @@ type lruCache struct {
 
 type lruEntry struct {
 	key  string
-	memo memo[[]byte]
+	done chan struct{} // closed once val/err are set
+	val  []byte
+	err  error
 }
 
 // newLRUCache returns an LRU holding at most max entries; max <= 0
@@ -100,31 +138,38 @@ func newLRUCache(max int) *lruCache {
 
 // Get returns the value for key, computing it via f on a miss. The
 // computation runs outside the cache lock; concurrent callers for the
-// same key share one computation. Errors are not cached.
-func (c *lruCache) Get(key string, f func() ([]byte, error)) ([]byte, error) {
+// same key share one computation, each waiting under its own token.
+// Errors are not cached.
+func (c *lruCache) Get(cc *engine.Cancel, key string, f func() ([]byte, error)) ([]byte, error) {
 	if c.max <= 0 {
 		return f()
 	}
 	c.mu.Lock()
-	el, ok := c.byKey[key]
-	if ok {
+	var e *lruEntry
+	leader := false
+	if el, ok := c.byKey[key]; ok {
 		c.order.MoveToFront(el)
 		c.hits++
+		e = el.Value.(*lruEntry)
 	} else {
 		c.misses++
-		el = c.order.PushFront(&lruEntry{key: key})
-		c.byKey[key] = el
+		e = &lruEntry{key: key, done: make(chan struct{})}
+		c.byKey[key] = c.order.PushFront(e)
+		leader = true
 		for c.order.Len() > c.max {
 			back := c.order.Back()
 			c.order.Remove(back)
 			delete(c.byKey, back.Value.(*lruEntry).key)
 		}
 	}
-	e := el.Value.(*lruEntry)
 	c.mu.Unlock()
 
-	e.memo.once.Do(func() { e.memo.val, e.memo.err = f() })
-	if e.memo.err != nil {
+	if leader {
+		runFill(func() { e.val, e.err = f() }, &e.err, e.done)
+	} else if err := cc.Wait(e.done); err != nil {
+		return nil, err
+	}
+	if e.err != nil {
 		c.mu.Lock()
 		if cur, ok := c.byKey[key]; ok && cur.Value.(*lruEntry) == e {
 			c.order.Remove(cur)
@@ -132,7 +177,7 @@ func (c *lruCache) Get(key string, f func() ([]byte, error)) ([]byte, error) {
 		}
 		c.mu.Unlock()
 	}
-	return e.memo.val, e.memo.err
+	return e.val, e.err
 }
 
 // Stats returns the hit/miss counters and current entry count.

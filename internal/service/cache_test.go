@@ -13,7 +13,7 @@ func TestLRUCachesAndEvicts(t *testing.T) {
 	var builds atomic.Int64
 	get := func(key string) []byte {
 		t.Helper()
-		v, err := c.Get(key, func() ([]byte, error) {
+		v, err := c.Get(nil, key, func() ([]byte, error) {
 			builds.Add(1)
 			return []byte(key), nil
 		})
@@ -58,7 +58,7 @@ func TestLRUSingleflight(t *testing.T) {
 	for i := 0; i < goroutines; i++ {
 		go func(i int) {
 			defer wg.Done()
-			v, err := c.Get("key", func() ([]byte, error) {
+			v, err := c.Get(nil, "key", func() ([]byte, error) {
 				builds.Add(1)
 				<-release
 				return []byte("value"), nil
@@ -86,7 +86,7 @@ func TestLRUErrorsNotCached(t *testing.T) {
 	calls := 0
 	boom := errors.New("boom")
 	for i := 0; i < 3; i++ {
-		_, err := c.Get("key", func() ([]byte, error) {
+		_, err := c.Get(nil, "key", func() ([]byte, error) {
 			calls++
 			if calls < 3 {
 				return nil, boom
@@ -109,7 +109,7 @@ func TestLRUDisabled(t *testing.T) {
 	c := newLRUCache(-1)
 	calls := 0
 	for i := 0; i < 3; i++ {
-		if _, err := c.Get("k", func() ([]byte, error) { calls++; return nil, nil }); err != nil {
+		if _, err := c.Get(nil, "k", func() ([]byte, error) { calls++; return nil, nil }); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -126,7 +126,7 @@ func TestMemoMapSingleflightAndErrorRetry(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			v, err := m.get(1, func() (string, error) {
+			v, err := m.get(nil, 1, func() (string, error) {
 				builds.Add(1)
 				return "one", nil
 			})
@@ -141,10 +141,10 @@ func TestMemoMapSingleflightAndErrorRetry(t *testing.T) {
 	}
 
 	fails := 0
-	if _, err := m.get(2, func() (string, error) { fails++; return "", fmt.Errorf("nope") }); err == nil {
+	if _, err := m.get(nil, 2, func() (string, error) { fails++; return "", fmt.Errorf("nope") }); err == nil {
 		t.Fatal("expected error")
 	}
-	if v, err := m.get(2, func() (string, error) { fails++; return "two", nil }); err != nil || v != "two" {
+	if v, err := m.get(nil, 2, func() (string, error) { fails++; return "two", nil }); err != nil || v != "two" {
 		t.Errorf("retry got %q/%v", v, err)
 	}
 	if fails != 2 {
@@ -157,7 +157,7 @@ func TestMemoMapBounded(t *testing.T) {
 	builds := 0
 	get := func(k int) {
 		t.Helper()
-		v, err := m.get(k, func() (int, error) { builds++; return k, nil })
+		v, err := m.get(nil, k, func() (int, error) { builds++; return k, nil })
 		if err != nil || v != k {
 			t.Fatalf("get(%d) = %d/%v", k, v, err)
 		}

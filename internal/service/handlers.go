@@ -36,18 +36,32 @@ type ArtifactsStatus struct {
 	GraphBuilds  int64 `json:"graphBuilds"`
 	OracleLoads  int64 `json:"oracleLoads"`
 	OracleBuilds int64 `json:"oracleBuilds"`
+
+	// Quarantined lists artifact files found corrupt and renamed aside
+	// (now carrying a .quarantined suffix); each cost one live rebuild
+	// and deserves operator attention, but never wrong answers.
+	Quarantined []string `json:"quarantined,omitempty"`
 }
 
 // HealthResponse is the /healthz body. Artifacts is present only when
-// the server was configured with an artifact store.
+// the server was configured with an artifact store. Status is "ok"
+// normally, "degraded" while any dataset is in a build-failure backoff
+// window (still HTTP 200 — cached artifacts keep serving), and
+// "draining" during shutdown (HTTP 503, so load balancers stop
+// routing here while in-flight requests finish).
 type HealthResponse struct {
 	Status    string           `json:"status"`
 	Datasets  int              `json:"datasets"`
+	Degraded  []string         `json:"degraded,omitempty"`
 	Artifacts *ArtifactsStatus `json:"artifacts,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request, ri *reqInfo) {
 	resp := HealthResponse{Status: "ok", Datasets: len(s.cfg.Registry.Names())}
+	if deg := s.art.deg.degraded(); len(deg) > 0 {
+		resp.Status = "degraded"
+		resp.Degraded = deg
+	}
 	if s.art.store != nil {
 		as := &ArtifactsStatus{
 			Dir:          s.art.store.Dir,
@@ -56,6 +70,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request, ri *reqIn
 			GraphBuilds:  s.art.graphBuilds.Load(),
 			OracleLoads:  s.art.oracleLoads.Load(),
 			OracleBuilds: s.art.oracleBuilds.Load(),
+			Quarantined:  s.art.quarantinedPaths(),
 		}
 		for _, name := range s.cfg.Registry.Names() {
 			if s.art.store.HasGraph(name, stgraph.DefaultDelta) && s.art.store.HasOracle(name) {
@@ -63,6 +78,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request, ri *reqIn
 			}
 		}
 		resp.Artifacts = as
+	}
+	if s.draining.Load() {
+		resp.Status = "draining"
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
 	}
 	writeJSON(w, resp)
 }
@@ -175,15 +195,15 @@ func (s *Server) handleEnumerate(w http.ResponseWriter, r *http.Request, ri *req
 		return
 	}
 	key := enumerateKey(req.Dataset, msgs, opt)
-	data, err := s.results.Get(key, func() ([]byte, error) {
-		resp, err := s.enumerate(req.Dataset, msgs, opt, &ri.obs)
+	data, err := s.results.Get(&ri.cancel, key, func() ([]byte, error) {
+		resp, err := s.enumerate(req.Dataset, msgs, opt, &ri.obs, &ri.cancel)
 		if err != nil {
 			return nil, err
 		}
 		return marshalResponse(resp)
 	})
 	if err != nil {
-		writeError(w, statusOf(err), err)
+		s.writeHandlerError(w, ri, err)
 		return
 	}
 	writeRaw(w, data)
@@ -241,21 +261,29 @@ func enumerateKey(dataset string, msgs []pathenum.Message, opt pathenum.Options)
 // POST /enumerate, exported so clients and the served-equivalence
 // suite can compare byte-for-byte.
 func (s *Server) Enumerate(dataset string, msgs []pathenum.Message, opt pathenum.Options) (*EnumerateResponse, error) {
-	return s.enumerate(dataset, msgs, opt, nil)
+	return s.enumerate(dataset, msgs, opt, nil, nil)
 }
 
-// enumerate is Enumerate with stage spans recorded into ot (nil-safe).
-func (s *Server) enumerate(dataset string, msgs []pathenum.Message, opt pathenum.Options, ot *obs.Trace) (*EnumerateResponse, error) {
+// enumerate is Enumerate with stage spans recorded into ot and the
+// request's cancellation token threaded through the artifact pipeline
+// and the enumeration dynamic program (both nil-safe).
+func (s *Server) enumerate(dataset string, msgs []pathenum.Message, opt pathenum.Options, ot *obs.Trace, cc *engine.Cancel) (*EnumerateResponse, error) {
 	opt, err := opt.Normalized()
 	if err != nil {
 		return nil, &badRequestError{err: err}
 	}
-	enum, err := s.art.enumerator(dataset, opt, ot)
+	enum, err := s.art.enumerator(dataset, opt, ot, cc)
 	if err != nil {
 		return nil, err
 	}
-	results, err := enum.EnumerateAllObs(msgs, ot)
+	if err := s.art.faults.FireCancel("enumerate", cc); err != nil {
+		return nil, err
+	}
+	results, err := enum.EnumerateAllCancel(msgs, ot, cc)
 	if err != nil {
+		if engine.IsCanceled(err) {
+			return nil, err
+		}
 		return nil, &badRequestError{err: err}
 	}
 	resp := &EnumerateResponse{
@@ -369,15 +397,15 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request, ri *reqI
 	req.withDefaults()
 	req.Workers = s.workers(req.Workers)
 	key := simulateKey(req)
-	data, err := s.results.Get(key, func() ([]byte, error) {
-		resp, err := s.simulate(req, &ri.obs)
+	data, err := s.results.Get(&ri.cancel, key, func() ([]byte, error) {
+		resp, err := s.simulate(req, &ri.obs, &ri.cancel)
 		if err != nil {
 			return nil, err
 		}
 		return marshalResponse(resp)
 	})
 	if err != nil {
-		writeError(w, statusOf(err), err)
+		s.writeHandlerError(w, ri, err)
 		return
 	}
 	writeRaw(w, data)
@@ -400,11 +428,13 @@ func simulateKey(req SimulateRequest) string {
 // /simulate: Runs workloads with per-run seeds split from Seed, merged
 // in run order. Exported for clients and the served-equivalence suite.
 func (s *Server) Simulate(req SimulateRequest) (*SimulateResponse, error) {
-	return s.simulate(req, nil)
+	return s.simulate(req, nil, nil)
 }
 
-// simulate is Simulate with stage spans recorded into ot (nil-safe).
-func (s *Server) simulate(req SimulateRequest, ot *obs.Trace) (*SimulateResponse, error) {
+// simulate is Simulate with stage spans recorded into ot and the
+// request's cancellation token threaded through the oracle pipeline
+// and each run's event replay (both nil-safe).
+func (s *Server) simulate(req SimulateRequest, ot *obs.Trace, cc *engine.Cancel) (*SimulateResponse, error) {
 	req.withDefaults()
 	alg, ok := AlgorithmByName(req.Algorithm)
 	if !ok {
@@ -423,8 +453,11 @@ func (s *Server) simulate(req SimulateRequest, ot *obs.Trace) (*SimulateResponse
 	if req.Rate < 0 || req.GenFraction < 0 || req.GenFraction > 1 || req.Runs < 0 {
 		return nil, badRequest("negative rate/runs or genFraction outside [0,1]")
 	}
-	sweep, tr, err := s.art.sweep(req.Dataset, ot)
+	sweep, tr, err := s.art.sweep(req.Dataset, ot, cc)
 	if err != nil {
+		return nil, err
+	}
+	if err := s.art.faults.FireCancel("simulate", cc); err != nil {
 		return nil, err
 	}
 	runs := make([]*dtnsim.Result, req.Runs)
@@ -435,8 +468,12 @@ func (s *Server) simulate(req SimulateRequest, ot *obs.Trace) (*SimulateResponse
 			Messages:  msgs,
 			CopyMode:  mode,
 			Workers:   req.Workers,
+			Cancel:    cc,
 		}, ot)
 		if err != nil {
+			if engine.IsCanceled(err) {
+				return nil, err
+			}
 			return nil, fmt.Errorf("simulate %s/%s: %w", req.Dataset, alg.Name(), err)
 		}
 		runs[i] = res
@@ -572,15 +609,15 @@ func (s *Server) handleFigureData(w http.ResponseWriter, r *http.Request, ri *re
 	p.Seed = int64(seed)
 
 	key := fmt.Sprintf("figure|%s|m=%d|k=%d|r=%d|s=%d", f.ID, p.Messages, p.K, p.SimRuns, p.Seed)
-	data, err := s.results.Get(key, func() ([]byte, error) {
-		resp, err := s.FigureData(f.ID, p)
+	data, err := s.results.Get(&ri.cancel, key, func() ([]byte, error) {
+		resp, err := s.figureData(f.ID, p, &ri.cancel)
 		if err != nil {
 			return nil, err
 		}
 		return marshalResponse(resp)
 	})
 	if err != nil {
-		writeError(w, statusOf(err), err)
+		s.writeHandlerError(w, ri, err)
 		return
 	}
 	writeRaw(w, data)
@@ -591,6 +628,17 @@ func (s *Server) handleFigureData(w http.ResponseWriter, r *http.Request, ri *re
 // set, so figures sharing parameters share studies and simulation
 // sweeps.
 func (s *Server) FigureData(id string, p FigureParamsJSON) (*FigureDataResponse, error) {
+	return s.figureData(id, p, nil)
+}
+
+// figureData is FigureData with the request's cancellation token
+// honored while joining another request's in-flight harness build.
+// The figure harness itself memoizes whole studies and runs them to
+// completion — its results are shared across every figure and request
+// for the parameter set, so one request's deadline must not abandon
+// them — which makes the token a wait-side courtesy here rather than
+// a compute-side one.
+func (s *Server) figureData(id string, p FigureParamsJSON, cc *engine.Cancel) (*FigureDataResponse, error) {
 	f, ok := figures.Lookup(id)
 	if !ok {
 		return nil, badRequest("unknown figure %q", id)
@@ -604,7 +652,7 @@ func (s *Server) FigureData(id string, p FigureParamsJSON) (*FigureDataResponse,
 		SimRuns:  p.SimRuns,
 		Seed:     p.Seed,
 		Workers:  s.cfg.Workers,
-	})
+	}, cc)
 	var buf bytes.Buffer
 	if err := h.RenderOne(f, &buf); err != nil {
 		return nil, err

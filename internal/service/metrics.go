@@ -20,6 +20,13 @@ import (
 type metrics struct {
 	inflight atomic.Int64
 	rejected atomic.Int64 // requests shed by the in-flight limit
+	panics   atomic.Int64 // handler panics contained by the recovery middleware
+
+	// Requests abandoned at a cooperative cancellation checkpoint, by
+	// reason (indexed by the reason* constants). Sheds of waiters whose
+	// singleflight leader was canceled count as neither — their own
+	// token never fired.
+	cancelledBy [numCancelReasons]atomic.Int64
 
 	mu       sync.Mutex
 	requests map[string]*int64 // per-endpoint request counter
@@ -35,6 +42,20 @@ type metrics struct {
 	// so the histogram's count is "requests that exercised this stage"
 	// and its distribution is per-request stage cost.
 	stages [obs.NumStages]*obs.Histogram
+}
+
+// Cancellation reasons for psn_cancelled_total.
+const (
+	reasonDeadline = iota // the request's deadline passed
+	reasonClient          // the client disconnected first
+	numCancelReasons
+)
+
+var cancelReasonNames = [numCancelReasons]string{"deadline", "client"}
+
+// cancelled counts one abandoned request under its reason label.
+func (m *metrics) cancelled(reason int) {
+	m.cancelledBy[reason].Add(1)
 }
 
 func newMetrics() *metrics {
@@ -131,6 +152,16 @@ func (m *metrics) write(w io.Writer, cache *lruCache, art *artifacts) {
 	fmt.Fprintf(w, "# TYPE psn_rejected_total counter\n")
 	fmt.Fprintf(w, "psn_rejected_total %d\n", m.rejected.Load())
 
+	fmt.Fprintf(w, "# HELP psn_panics_total Handler panics contained by the recovery middleware.\n")
+	fmt.Fprintf(w, "# TYPE psn_panics_total counter\n")
+	fmt.Fprintf(w, "psn_panics_total %d\n", m.panics.Load())
+
+	fmt.Fprintf(w, "# HELP psn_cancelled_total Requests abandoned at a cancellation checkpoint, by reason.\n")
+	fmt.Fprintf(w, "# TYPE psn_cancelled_total counter\n")
+	for i, name := range cancelReasonNames {
+		fmt.Fprintf(w, "psn_cancelled_total{reason=%q} %d\n", name, m.cancelledBy[i].Load())
+	}
+
 	hits, misses, entries := cache.Stats()
 	fmt.Fprintf(w, "# HELP psn_result_cache_hits_total Result-cache hits.\n")
 	fmt.Fprintf(w, "# TYPE psn_result_cache_hits_total counter\n")
@@ -151,6 +182,14 @@ func (m *metrics) write(w io.Writer, cache *lruCache, art *artifacts) {
 	fmt.Fprintf(w, "# TYPE psn_artifact_builds_total counter\n")
 	fmt.Fprintf(w, "psn_artifact_builds_total{kind=\"graph\"} %d\n", art.graphBuilds.Load())
 	fmt.Fprintf(w, "psn_artifact_builds_total{kind=\"oracle\"} %d\n", art.oracleBuilds.Load())
+
+	fmt.Fprintf(w, "# HELP psn_artifact_quarantines_total Corrupt on-disk artifacts renamed aside.\n")
+	fmt.Fprintf(w, "# TYPE psn_artifact_quarantines_total counter\n")
+	fmt.Fprintf(w, "psn_artifact_quarantines_total %d\n", art.quarantines.Load())
+
+	fmt.Fprintf(w, "# HELP psn_degraded_datasets Datasets currently in a build-failure backoff window.\n")
+	fmt.Fprintf(w, "# TYPE psn_degraded_datasets gauge\n")
+	fmt.Fprintf(w, "psn_degraded_datasets %d\n", len(art.deg.degraded()))
 
 	// Request latency histograms, one labeled series set per endpoint
 	// that has served at least one request (the exposition stays

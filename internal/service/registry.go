@@ -28,6 +28,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/engine"
 	"repro/internal/trace"
 	"repro/internal/tracegen"
 )
@@ -215,16 +216,27 @@ func (e *UnknownDatasetError) Error() string {
 // memoized: the next request retries the file instead of the error
 // permanently poisoning the dataset until restart.
 func (r *Registry) Trace(name string) (*trace.Trace, error) {
+	return r.TraceCancel(name, nil)
+}
+
+// TraceCancel is Trace with a cancellation token honored while waiting
+// on another caller's in-progress build: a waiter whose token fires
+// abandons the wait with a *engine.CanceledError while the build keeps
+// running for everyone else. The builder itself runs to completion —
+// dataset builds are shared state, and a half-built trace helps
+// nobody — so a request that starts a build pays for it even if its
+// own deadline passes meanwhile.
+func (r *Registry) TraceCancel(name string, cc *engine.Cancel) (*trace.Trace, error) {
 	r.mu.Lock()
 	e, ok := r.entries[name]
 	r.mu.Unlock()
 	if !ok {
 		return nil, &UnknownDatasetError{Name: name, Available: r.Names()}
 	}
-	return e.trace()
+	return e.trace(cc)
 }
 
-func (e *regEntry) trace() (*trace.Trace, error) {
+func (e *regEntry) trace(cc *engine.Cancel) (*trace.Trace, error) {
 	e.mu.Lock()
 	if e.tr != nil || e.err != nil {
 		tr, err := e.tr, e.err
@@ -233,23 +245,36 @@ func (e *regEntry) trace() (*trace.Trace, error) {
 	}
 	if f := e.flight; f != nil {
 		e.mu.Unlock()
-		<-f.done
+		if err := cc.Wait(f.done); err != nil {
+			return nil, err
+		}
 		return f.tr, f.err
 	}
 	f := &regFlight{done: make(chan struct{})}
 	e.flight = f
 	e.mu.Unlock()
 
+	// The flight must settle even if the builder panics (a hung done
+	// channel would deadlock every future request for the dataset):
+	// record the panic as the flight's error, publish, and re-raise.
+	done := false
+	defer func() {
+		if !done {
+			f.err = fmt.Errorf("service: dataset build panicked")
+		}
+		e.mu.Lock()
+		e.flight = nil
+		if f.err == nil {
+			e.tr = f.tr
+		} else if e.kind != KindFile && done {
+			// Panics are not memoized: they may be injected faults or
+			// other transients a retry can clear.
+			e.err = f.err
+		}
+		e.mu.Unlock()
+		close(f.done)
+	}()
 	f.tr, f.err = e.build()
-
-	e.mu.Lock()
-	e.flight = nil
-	if f.err == nil {
-		e.tr = f.tr
-	} else if e.kind != KindFile {
-		e.err = f.err
-	}
-	e.mu.Unlock()
-	close(f.done)
+	done = true
 	return f.tr, f.err
 }

@@ -1,0 +1,482 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/artstore"
+	"repro/internal/dtnsim"
+	"repro/internal/faultinject"
+	"repro/internal/stgraph"
+)
+
+const enumBody = `{"dataset":"dev","src":0,"dst":17,"start":0,"k":50}`
+
+// metricValue scrapes one counter/gauge value (with its label set
+// spelled exactly as exposed) from the server's /metrics.
+func metricValue(t *testing.T, ts *httptest.Server, metric string) int64 {
+	t.Helper()
+	code, body := get(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: status %d", code)
+	}
+	re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(metric) + ` (\d+)$`)
+	m := re.FindSubmatch(body)
+	if m == nil {
+		t.Fatalf("metric %s not found in /metrics", metric)
+	}
+	n, err := strconv.ParseInt(string(m[1]), 10, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// TestRequestDeadlineSheds: a request whose compute outlives
+// RequestTimeout is abandoned at a cancellation checkpoint and
+// answered 503 with a Retry-After hint, counted under
+// psn_cancelled_total{reason="deadline"}.
+func TestRequestDeadlineSheds(t *testing.T) {
+	faults := faultinject.New()
+	faults.Set("enumerate", faultinject.Fault{Delay: 10 * time.Second, Count: 1})
+	_, ts := newTestServer(t, Config{RequestTimeout: 50 * time.Millisecond, Faults: faults})
+
+	start := time.Now()
+	resp, err := http.Post(ts.URL+"/enumerate", "application/json", strings.NewReader(enumBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 deadline response missing Retry-After")
+	}
+	// The injected stage would run 10s; the deadline must cut it off
+	// orders of magnitude sooner.
+	if d := time.Since(start); d > 5*time.Second {
+		t.Errorf("deadlined request took %v", d)
+	}
+	if got := metricValue(t, ts, `psn_cancelled_total{reason="deadline"}`); got != 1 {
+		t.Errorf(`psn_cancelled_total{reason="deadline"} = %d, want 1`, got)
+	}
+	if got := metricValue(t, ts, `psn_cancelled_total{reason="client"}`); got != 0 {
+		t.Errorf(`psn_cancelled_total{reason="client"} = %d, want 0`, got)
+	}
+
+	// The fault is spent (*1): the same request now completes.
+	code, _ := post(t, ts.URL+"/enumerate", enumBody)
+	if code != http.StatusOK {
+		t.Fatalf("request after deadline shed: status %d, want 200", code)
+	}
+}
+
+// TestClientDisconnectCancels: a request whose client has gone away is
+// abandoned and accounted 499 under reason="client". Driven through
+// ServeHTTP directly — a real disconnected socket can't carry the
+// response back for inspection.
+func TestClientDisconnectCancels(t *testing.T) {
+	faults := faultinject.New()
+	faults.Set("enumerate", faultinject.Fault{Delay: 10 * time.Second, Count: 1})
+	s, ts := newTestServer(t, Config{Faults: faults})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // the client is already gone
+	req := httptest.NewRequest("POST", "/enumerate", strings.NewReader(enumBody)).WithContext(ctx)
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+
+	if rec.Code != statusClientClosedRequest {
+		t.Fatalf("status %d, want %d", rec.Code, statusClientClosedRequest)
+	}
+	if got := metricValue(t, ts, `psn_cancelled_total{reason="client"}`); got != 1 {
+		t.Errorf(`psn_cancelled_total{reason="client"} = %d, want 1`, got)
+	}
+}
+
+// TestPanicRecoveryMiddleware: a panicking handler is contained to its
+// request — 500 carrying the request ID, psn_panics_total incremented,
+// and the server keeps serving.
+func TestPanicRecoveryMiddleware(t *testing.T) {
+	faults := faultinject.New()
+	faults.Set("handler", faultinject.Fault{Panic: "chaos", Count: 1})
+	_, ts := newTestServer(t, Config{Faults: faults})
+
+	resp, err := http.Post(ts.URL+"/enumerate", "application/json", strings.NewReader(enumBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body errorBody
+	code := resp.StatusCode
+	id := resp.Header.Get("X-Psn-Request")
+	if err := readJSON(resp, &body); err != nil {
+		t.Fatal(err)
+	}
+	if code != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500", code)
+	}
+	if id == "" || !strings.Contains(body.Error, id) {
+		t.Errorf("500 body %q does not echo the request ID %q", body.Error, id)
+	}
+	if got := metricValue(t, ts, "psn_panics_total"); got != 1 {
+		t.Errorf("psn_panics_total = %d, want 1", got)
+	}
+
+	// The process survived and the next request works.
+	if code, _ := post(t, ts.URL+"/enumerate", enumBody); code != http.StatusOK {
+		t.Fatalf("request after panic: status %d, want 200", code)
+	}
+}
+
+func readJSON(resp *http.Response, v any) error {
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+// discardLogger silences the chaos suite's expected panic/quarantine
+// log spam without losing real test failures.
+func discardLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
+
+// TestDegradedMode: repeated build failures trip the dataset into a
+// backoff window answering 503 + Retry-After, visible on /healthz and
+// /metrics; a healthy probe build after the window restores service.
+func TestDegradedMode(t *testing.T) {
+	faults := faultinject.New()
+	faults.Set("graph-build", faultinject.Fault{Err: faultinject.ErrInjected, Count: degradeThreshold})
+	s, ts := newTestServer(t, Config{Faults: faults})
+
+	for i := 0; i < degradeThreshold; i++ {
+		if code, body := post(t, ts.URL+"/enumerate", enumBody); code != http.StatusInternalServerError {
+			t.Fatalf("failing build %d: status %d (%s), want 500", i, code, body)
+		}
+	}
+
+	resp, err := http.Post(ts.URL+"/enumerate", "application/json", strings.NewReader(enumBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("degraded dataset: status %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("degraded 503 missing Retry-After")
+	} else if n, err := strconv.Atoi(ra); err != nil || n < 1 {
+		t.Errorf("Retry-After = %q, want a positive integer", ra)
+	}
+	if got := metricValue(t, ts, "psn_degraded_datasets"); got != 1 {
+		t.Errorf("psn_degraded_datasets = %d, want 1", got)
+	}
+	code, body := get(t, ts.URL+"/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("/healthz while degraded: status %d, want 200 (cached data still serves)", code)
+	}
+	if !strings.Contains(string(body), `"status":"degraded"`) || !strings.Contains(string(body), `"dev"`) {
+		t.Errorf("/healthz does not report the degraded dataset: %s", body)
+	}
+
+	// Recovery: the fault is exhausted; expire the backoff window so
+	// the next request probes a build through — it succeeds and clears
+	// the degraded state.
+	s.art.deg.mu.Lock()
+	s.art.deg.state["dev"].until = time.Now().Add(-time.Second)
+	s.art.deg.mu.Unlock()
+	if code, body := post(t, ts.URL+"/enumerate", enumBody); code != http.StatusOK {
+		t.Fatalf("probe build after recovery: status %d (%s), want 200", code, body)
+	}
+	if code, body := get(t, ts.URL+"/healthz"); code != http.StatusOK || !strings.Contains(string(body), `"status":"ok"`) {
+		t.Errorf("/healthz after recovery: status %d body %s, want ok", code, body)
+	}
+	if got := metricValue(t, ts, "psn_degraded_datasets"); got != 0 {
+		t.Errorf("psn_degraded_datasets after recovery = %d, want 0", got)
+	}
+}
+
+// resilienceStore builds a valid artifact store for the dev dataset (graph +
+// oracle) and returns its directory and file paths.
+func resilienceStore(t *testing.T) (dir, graphPath, oraclePath string) {
+	t.Helper()
+	reg := NewRegistry()
+	tr, err := reg.Trace("dev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := stgraph.New(tr, stgraph.DefaultDelta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := &artstore.Store{Dir: t.TempDir()}
+	digest := artstore.TraceDigest(tr)
+	graphPath, err = st.SaveGraph("dev", digest, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oraclePath, err = st.SaveOracle("dev", digest, dtnsim.NewOracle(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st.Dir, graphPath, oraclePath
+}
+
+func corruptFile(t *testing.T, path string) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-5] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuarantineAndFallback: a corrupt on-disk artifact is renamed
+// aside, the request is served from a live build with a byte-identical
+// response, /healthz and /metrics report the quarantine, and a second
+// boot over the same directory misses cleanly without re-quarantining.
+func TestQuarantineAndFallback(t *testing.T) {
+	dir, graphPath, _ := resilienceStore(t)
+	corruptFile(t, graphPath)
+
+	// Reference answer from a storeless server.
+	_, plain := newTestServer(t, Config{})
+	_, want := post(t, plain.URL+"/enumerate", enumBody)
+
+	_, ts := newTestServer(t, Config{ArtifactDir: dir})
+	code, got := post(t, ts.URL+"/enumerate", enumBody)
+	if code != http.StatusOK {
+		t.Fatalf("enumerate over corrupt store: status %d (%s), want 200 via live build", code, got)
+	}
+	if string(got) != string(want) {
+		t.Error("fallback response differs from the storeless answer")
+	}
+	if _, err := os.Stat(graphPath); !os.IsNotExist(err) {
+		t.Errorf("corrupt artifact still at %s (stat err %v), want renamed aside", graphPath, err)
+	}
+	if _, err := os.Stat(graphPath + ".quarantined"); err != nil {
+		t.Errorf("quarantined file missing: %v", err)
+	}
+	if got := metricValue(t, ts, "psn_artifact_quarantines_total"); got != 1 {
+		t.Errorf("psn_artifact_quarantines_total = %d, want 1", got)
+	}
+	if _, body := get(t, ts.URL+"/healthz"); !strings.Contains(string(body), ".quarantined") {
+		t.Errorf("/healthz does not list the quarantined file: %s", body)
+	}
+
+	// Second boot: the bad file is out of the load path, so the server
+	// just misses and builds — no repeated quarantine, nothing to log.
+	_, ts2 := newTestServer(t, Config{ArtifactDir: dir})
+	if code, _ := post(t, ts2.URL+"/enumerate", enumBody); code != http.StatusOK {
+		t.Fatalf("second boot enumerate: status %d, want 200", code)
+	}
+	if got := metricValue(t, ts2, "psn_artifact_quarantines_total"); got != 0 {
+		t.Errorf("second boot psn_artifact_quarantines_total = %d, want 0", got)
+	}
+}
+
+// TestOracleQuarantine covers the oracle artifact through /simulate.
+func TestOracleQuarantine(t *testing.T) {
+	dir, _, oraclePath := resilienceStore(t)
+	corruptFile(t, oraclePath)
+
+	_, ts := newTestServer(t, Config{ArtifactDir: dir})
+	body := `{"dataset":"dev","algorithm":"epidemic","runs":1}`
+	if code, out := post(t, ts.URL+"/simulate", body); code != http.StatusOK {
+		t.Fatalf("simulate over corrupt oracle: status %d (%s), want 200", code, out)
+	}
+	if _, err := os.Stat(oraclePath + ".quarantined"); err != nil {
+		t.Errorf("quarantined oracle missing: %v", err)
+	}
+	if got := metricValue(t, ts, "psn_artifact_quarantines_total"); got != 1 {
+		t.Errorf("psn_artifact_quarantines_total = %d, want 1", got)
+	}
+}
+
+// TestDrainFlipsHealthz: drain mode turns /healthz into 503/"draining"
+// while an in-flight slow request still completes — the regression
+// shape of graceful shutdown (probes fail first, work finishes).
+func TestDrainFlipsHealthz(t *testing.T) {
+	faults := faultinject.New()
+	faults.Set("enumerate", faultinject.Fault{Delay: 300 * time.Millisecond, Count: 1})
+	s, ts := newTestServer(t, Config{Faults: faults})
+
+	type result struct {
+		code int
+		body string
+	}
+	inflight := make(chan result, 1)
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		resp, err := http.Post(ts.URL+"/enumerate", "application/json", strings.NewReader(enumBody))
+		if err != nil {
+			inflight <- result{0, err.Error()}
+			return
+		}
+		defer resp.Body.Close()
+		inflight <- result{resp.StatusCode, ""}
+	}()
+	<-started
+	time.Sleep(50 * time.Millisecond) // the slow request is inside the handler now
+	s.SetDraining(true)
+
+	code, body := get(t, ts.URL+"/healthz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("/healthz while draining: status %d, want 503", code)
+	}
+	if !strings.Contains(string(body), `"status":"draining"`) {
+		t.Errorf("/healthz body %s, want status draining", body)
+	}
+
+	r := <-inflight
+	if r.code != http.StatusOK {
+		t.Fatalf("in-flight request during drain: status %d %s, want 200", r.code, r.body)
+	}
+
+	s.SetDraining(false)
+	if code, _ := get(t, ts.URL+"/healthz"); code != http.StatusOK {
+		t.Fatalf("/healthz after drain cleared: status %d, want 200", code)
+	}
+}
+
+// TestDeadlineEquivalence pins cancellation's non-interference: the
+// response of a server with an armed (but never firing) deadline is
+// byte-identical to one with deadlines disabled.
+func TestDeadlineEquivalence(t *testing.T) {
+	_, withDeadline := newTestServer(t, Config{RequestTimeout: time.Hour})
+	_, noDeadline := newTestServer(t, Config{RequestTimeout: -1})
+
+	for _, body := range []string{
+		enumBody,
+		`{"dataset":"dev","messages":[{"src":0,"dst":17,"start":0},{"src":3,"dst":9,"start":100}],"k":80}`,
+		`{"dataset":"dev","algorithm":"epidemic","runs":2}`,
+	} {
+		endpoint := "/enumerate"
+		if strings.Contains(body, "algorithm") {
+			endpoint = "/simulate"
+		}
+		codeA, respA := post(t, withDeadline.URL+endpoint, body)
+		codeB, respB := post(t, noDeadline.URL+endpoint, body)
+		if codeA != http.StatusOK || codeB != http.StatusOK {
+			t.Fatalf("%s: statuses %d/%d (%s)", endpoint, codeA, codeB, respA)
+		}
+		if string(respA) != string(respB) {
+			t.Errorf("%s %s: deadline-armed response differs from deadline-free", endpoint, body)
+		}
+	}
+}
+
+// TestChaosSuite floods a fault-riddled server with concurrent mixed
+// traffic and asserts the availability contract: every response is a
+// well-formed HTTP answer from the expected set, /healthz keeps
+// answering, nothing crashes, and no goroutines leak.
+func TestChaosSuite(t *testing.T) {
+	goroutinesBefore := runtime.NumGoroutine()
+
+	faults := faultinject.New()
+	faults.Set("enumerate", faultinject.Fault{Err: faultinject.ErrInjected, Count: 5})
+	faults.Set("simulate", faultinject.Fault{Delay: 20 * time.Millisecond, Count: 5})
+	faults.Set("handler", faultinject.Fault{Panic: "chaos", Count: 3})
+	faults.Set("graph-load", faultinject.Fault{Err: faultinject.ErrCorrupt, Count: 2})
+	logger := discardLogger()
+	s, ts := newTestServer(t, Config{
+		RequestTimeout: 250 * time.Millisecond,
+		Faults:         faults,
+		Logger:         logger,
+	})
+	client := &http.Client{Timeout: 10 * time.Second}
+
+	const (
+		workers  = 8
+		requests = 12
+	)
+	allowed := map[int]bool{
+		http.StatusOK:                  true,
+		http.StatusInternalServerError: true, // injected errors, contained panics
+		http.StatusServiceUnavailable:  true, // deadline sheds, inflight sheds, degraded
+	}
+	var wg sync.WaitGroup
+	errc := make(chan error, workers*requests)
+	bodies := []struct{ path, body string }{
+		{"/enumerate", enumBody},
+		{"/simulate", `{"dataset":"dev","algorithm":"epidemic","runs":1}`},
+		{"/enumerate", `{"dataset":"dev","messages":[{"src":1,"dst":5,"start":10}],"k":40}`},
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < requests; i++ {
+				req := bodies[(w+i)%len(bodies)]
+				resp, err := client.Post(ts.URL+req.path, "application/json", strings.NewReader(req.body))
+				if err != nil {
+					errc <- fmt.Errorf("worker %d request %d: %v", w, i, err)
+					return
+				}
+				resp.Body.Close()
+				if !allowed[resp.StatusCode] {
+					errc <- fmt.Errorf("worker %d request %d: unexpected status %d", w, i, resp.StatusCode)
+				}
+				if i%4 == 0 {
+					hr, err := client.Get(ts.URL + "/healthz")
+					if err != nil {
+						errc <- fmt.Errorf("worker %d healthz: %v", w, err)
+						return
+					}
+					hr.Body.Close()
+					if hr.StatusCode != http.StatusOK {
+						errc <- fmt.Errorf("worker %d: /healthz status %d under chaos", w, hr.StatusCode)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+
+	// With the faults spent, the server answers normally again.
+	if code, body := post(t, ts.URL+"/enumerate", enumBody); code != http.StatusOK {
+		t.Fatalf("post-chaos enumerate: status %d (%s)", code, body)
+	}
+	if s.metrics.panics.Load() == 0 {
+		t.Error("chaos run never exercised the panic recovery path")
+	}
+
+	// No goroutine leaks: after closing idle connections the count
+	// returns to (near) the pre-test level. Poll briefly — conn
+	// teardown and pool reaping are asynchronous.
+	client.CloseIdleConnections()
+	http.DefaultClient.CloseIdleConnections()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		now := runtime.NumGoroutine()
+		if now <= goroutinesBefore+4 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d before chaos, %d after", goroutinesBefore, now)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

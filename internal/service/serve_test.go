@@ -549,7 +549,11 @@ func TestServedBackpressure503(t *testing.T) {
 // exercises the artifact singleflight, the LRU, and the shared
 // enumerators.
 func TestServedConcurrentStress(t *testing.T) {
-	_, ts := newTestServer(t, Config{Workers: 2, CacheSize: 4})
+	// MaxInflight is raised above the goroutine count: the default cap
+	// (4×GOMAXPROCS) can legitimately shed on small CI machines, and
+	// this test measures response equality under concurrency, not
+	// backpressure (TestBackpressure covers that).
+	_, ts := newTestServer(t, Config{Workers: 2, CacheSize: 4, MaxInflight: 16})
 
 	type reqCase struct {
 		path, body string
@@ -696,11 +700,11 @@ func TestMetricsExposition(t *testing.T) {
 // enumerators differing only in budget share one graph index.
 func TestEnumeratorGraphSharing(t *testing.T) {
 	s := New(Config{})
-	a, err := s.art.enumerator("dev", pathenum.Options{K: 10}, nil)
+	a, err := s.art.enumerator("dev", pathenum.Options{K: 10}, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := s.art.enumerator("dev", pathenum.Options{K: 99}, nil)
+	b, err := s.art.enumerator("dev", pathenum.Options{K: 99}, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -710,7 +714,7 @@ func TestEnumeratorGraphSharing(t *testing.T) {
 	if a.Graph() != b.Graph() {
 		t.Error("enumerators with different budgets do not share the graph index")
 	}
-	c, err := s.art.enumerator("dev", pathenum.Options{K: 10}, nil)
+	c, err := s.art.enumerator("dev", pathenum.Options{K: 10}, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -10,11 +11,15 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"runtime/debug"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/artstore"
+	"repro/internal/engine"
+	"repro/internal/faultinject"
 	"repro/internal/obs"
 )
 
@@ -62,6 +67,21 @@ type Config struct {
 	// tracing.
 	TraceSlow time.Duration
 
+	// RequestTimeout bounds one experiment request's compute: the
+	// request's cancellation token (also fed by the client connection)
+	// fires at the deadline, the engine layers abandon at their next
+	// checkpoint, and the client gets 503 with a Retry-After hint.
+	// Probe endpoints are exempt. Zero means 30 s; negative disables
+	// the deadline (client disconnects still cancel).
+	RequestTimeout time.Duration
+
+	// Faults, when non-nil, arms the fault-injection points along the
+	// request path — artifact loads and builds, the enumerate/simulate
+	// compute stages, the handler envelope (see internal/faultinject
+	// and the psn-serve -inject flag). Nil, the production value, makes
+	// every injection point one pointer check.
+	Faults *faultinject.Injector
+
 	// AccessLog emits one structured log line per request (method, path,
 	// dataset, status, latency, request ID). Default off: the experiment
 	// endpoints are hot enough that per-request logging is opt-in.
@@ -85,6 +105,9 @@ func (c Config) withDefaults() Config {
 	if c.Logger == nil {
 		c.Logger = slog.Default()
 	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
 	return c
 }
 
@@ -99,6 +122,11 @@ type Server struct {
 	sem     chan struct{} // in-flight experiment semaphore; nil = unlimited
 	mux     *http.ServeMux
 
+	// draining flips /healthz to 503 while the process shuts down, so
+	// load balancers stop routing new traffic ahead of the listener
+	// actually closing (see SetDraining and cmd/psn-serve).
+	draining atomic.Bool
+
 	// Request-ID scheme: a random per-instance tag in the high 32 bits,
 	// a monotone counter in the low 32. IDs are unique per instance,
 	// cheap (one atomic add), and the tag distinguishes replicas in
@@ -109,12 +137,16 @@ type Server struct {
 	reqPool sync.Pool
 }
 
-// reqInfo carries one request's observability state: the stage-span
-// trace (embedded by value so pooling recycles it wholesale), the
-// formatted request ID echoed in X-Psn-Request, and the dataset the
-// handler resolved (for log lines; empty for non-dataset endpoints).
+// reqInfo carries one request's observability and cancellation state:
+// the stage-span trace (embedded by value so pooling recycles it
+// wholesale), the cancellation token experiment handlers thread into
+// the compute layers (also by value — no watcher goroutine, no timer,
+// no allocation), the formatted request ID echoed in X-Psn-Request,
+// and the dataset the handler resolved (for log lines; empty for
+// non-dataset endpoints).
 type reqInfo struct {
 	obs     obs.Trace
+	cancel  engine.Cancel
 	idStr   string
 	dataset string
 }
@@ -128,7 +160,7 @@ func New(cfg Config) *Server {
 	}
 	s := &Server{
 		cfg:     cfg,
-		art:     newArtifacts(cfg.Registry, store),
+		art:     newArtifacts(cfg.Registry, store, cfg.Faults, cfg.Logger),
 		results: newLRUCache(cfg.CacheSize),
 		metrics: newMetrics(),
 		idTag:   mathrand.Uint64() << 32,
@@ -171,13 +203,18 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // Registry returns the server's dataset registry.
 func (s *Server) Registry() *Registry { return s.cfg.Registry }
 
-// count wraps a handler with request/response accounting and the
-// observability envelope: a pooled reqInfo (stage trace + request ID,
-// the ID echoed in X-Psn-Request before the handler runs), the
-// endpoint's latency histogram (resolved once, at wiring time), stage
-// folding into the global stage histograms, and the optional access-log
-// and slow-trace log lines. The whole envelope costs two small
-// allocations per request (the ID string and the header value slice).
+// count wraps a handler with panic isolation, request/response
+// accounting and the observability envelope: a pooled reqInfo (stage
+// trace + request ID, the ID echoed in X-Psn-Request before the
+// handler runs), the endpoint's latency histogram (resolved once, at
+// wiring time), stage folding into the global stage histograms, and
+// the optional access-log and slow-trace log lines. A panicking
+// handler is contained to its request: the panic is logged with the
+// request ID and stack, counted in psn_panics_total, and answered 500
+// (when nothing was written yet); accounting runs in the same deferred
+// path, so panicked requests still land in every metric. The
+// non-panicking envelope costs two small allocations per request (the
+// ID string and the header value slice).
 func (s *Server) count(endpoint string, h func(http.ResponseWriter, *http.Request, *reqInfo)) http.HandlerFunc {
 	hist := s.metrics.histFor(endpoint)
 	return func(w http.ResponseWriter, r *http.Request) {
@@ -186,21 +223,39 @@ func (s *Server) count(endpoint string, h func(http.ResponseWriter, *http.Reques
 		w.Header().Set("X-Psn-Request", ri.idStr)
 		cw := &countingWriter{ResponseWriter: w}
 		t0 := time.Now()
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.metrics.panics.Add(1)
+				s.cfg.Logger.LogAttrs(context.Background(), slog.LevelError, "panic in handler",
+					slog.String("id", ri.idStr),
+					slog.String("endpoint", endpoint),
+					slog.String("dataset", ri.dataset),
+					slog.Any("panic", rec),
+					slog.String("stack", string(debug.Stack())),
+				)
+				if cw.code == 0 {
+					writeError(cw, http.StatusInternalServerError,
+						fmt.Errorf("internal error (request %s)", ri.idStr))
+				}
+			}
+			d := time.Since(t0)
+			status := cw.status()
+			s.metrics.countStatus(status)
+			hist.Record(d)
+			s.metrics.recordStages(&ri.obs)
+			s.logRequest(endpoint, r, ri, status, d)
+			s.reqPool.Put(ri)
+		}()
 		h(cw, r, ri)
-		d := time.Since(t0)
-		status := cw.status()
-		s.metrics.countStatus(status)
-		hist.Record(d)
-		s.metrics.recordStages(&ri.obs)
-		s.logRequest(endpoint, r, ri, status, d)
-		s.reqPool.Put(ri)
 	}
 }
 
 // limited wraps an experiment handler with accounting and the bounded
 // in-flight semaphore. When the semaphore is full the request is shed
 // immediately with 503 — callers retry against a server that is
-// already making progress on earlier requests.
+// already making progress on earlier requests. Admitted requests get
+// their cancellation token armed (client connection + RequestTimeout)
+// and pass through the "handler" fault-injection point.
 func (s *Server) limited(endpoint string, h func(http.ResponseWriter, *http.Request, *reqInfo)) http.HandlerFunc {
 	return s.count(endpoint, func(w http.ResponseWriter, r *http.Request, ri *reqInfo) {
 		if s.sem != nil {
@@ -216,9 +271,21 @@ func (s *Server) limited(endpoint string, h func(http.ResponseWriter, *http.Requ
 		}
 		s.metrics.inflight.Add(1)
 		defer s.metrics.inflight.Add(-1)
+		ri.cancel = engine.NewCancel(r.Context(), s.cfg.RequestTimeout)
+		if err := s.cfg.Faults.FireCancel("handler", &ri.cancel); err != nil {
+			s.writeHandlerError(w, ri, err)
+			return
+		}
 		h(w, r, ri)
 	})
 }
+
+// SetDraining flips the server into (or out of) drain mode: /healthz
+// answers 503 so load balancers and probes stop routing new traffic
+// while in-flight requests finish under http.Server.Shutdown. All
+// other endpoints keep serving — requests already admitted, and any
+// stragglers racing the listener close, complete normally.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
 
 // getReqInfo takes a recycled reqInfo from the pool, resets its trace,
 // and stamps a fresh request ID.
@@ -232,6 +299,7 @@ func (s *Server) getReqInfo() *reqInfo {
 	ri.obs.ID = id
 	ri.idStr = formatRequestID(id)
 	ri.dataset = ""
+	ri.cancel = engine.Cancel{}
 	return ri
 }
 
@@ -269,7 +337,7 @@ func (s *Server) logRequest(endpoint string, r *http.Request, ri *reqInfo, statu
 		)
 	}
 	if slow {
-		attrs := make([]slog.Attr, 0, 6+obs.NumStages)
+		attrs := make([]slog.Attr, 0, 7+obs.NumStages)
 		attrs = append(attrs,
 			slog.String("id", ri.idStr),
 			slog.String("endpoint", endpoint),
@@ -277,6 +345,11 @@ func (s *Server) logRequest(endpoint string, r *http.Request, ri *reqInfo, statu
 			slog.Int("status", status),
 			slog.Duration("latency", d),
 		)
+		if ri.obs.Truncated() {
+			// A canceled request's stage times cover only the work done
+			// before the abandon checkpoint.
+			attrs = append(attrs, slog.Bool("truncated", true))
+		}
 		names := obs.StageNames()
 		for i := 0; i < obs.NumStages; i++ {
 			if ns := ri.obs.StageNs(obs.Stage(i)); ns > 0 {
@@ -310,6 +383,59 @@ func (cw *countingWriter) status() int {
 		return http.StatusOK
 	}
 	return cw.code
+}
+
+// statusClientClosedRequest is the nginx-convention 499 recorded when
+// the client went away before the response: nothing useful can be
+// written to it, but the status still lands in the metrics and logs.
+const statusClientClosedRequest = 499
+
+// writeHandlerError maps an experiment-handler failure onto the wire.
+// Cancellation is decided by the request's OWN token, not by the error
+// alone: a *engine.CanceledError whose own token fired is this request
+// hitting its deadline (503 + Retry-After, psn_cancelled_total
+// reason="deadline") or its client disconnecting (499,
+// reason="client"); one inherited from a singleflight leader while the
+// request's own token is still live means the shared computation this
+// request was waiting on got abandoned — answered 503 + Retry-After as
+// a shed (a retry relaunches the build) without touching the
+// cancellation counters. Either way the request's stage trace is
+// marked truncated. *DegradedError carries its own backoff window as
+// the Retry-After hint. Everything else falls through to statusOf.
+func (s *Server) writeHandlerError(w http.ResponseWriter, ri *reqInfo, err error) {
+	if engine.IsCanceled(err) {
+		ri.obs.MarkTruncated()
+		switch own := ri.cancel.Err(); {
+		case own == nil:
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, fmt.Errorf("shared computation canceled, retry: %v", err))
+		case errors.Is(own, context.Canceled):
+			s.metrics.cancelled(reasonClient)
+			writeError(w, statusClientClosedRequest, fmt.Errorf("client closed request: %v", err))
+		default:
+			s.metrics.cancelled(reasonDeadline)
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, fmt.Errorf("request deadline exceeded: %v", err))
+		}
+		return
+	}
+	var deg *DegradedError
+	if errors.As(err, &deg) {
+		w.Header().Set("Retry-After", retryAfterSeconds(deg.RetryAfter))
+		writeError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	writeError(w, statusOf(err), err)
+}
+
+// retryAfterSeconds renders a backoff window as a Retry-After header
+// value: whole seconds, rounded up, at least 1.
+func retryAfterSeconds(d time.Duration) string {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
 }
 
 // errorBody is the JSON shape of every error response.

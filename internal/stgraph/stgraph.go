@@ -134,6 +134,15 @@ func NewWorkers(tr *trace.Trace, delta float64, workers int) (*Graph, error) {
 // marks) are timed separately, so a serving layer can tell which half
 // of a cold build dominates. A nil ot costs one pointer check.
 func NewWorkersObs(tr *trace.Trace, delta float64, workers int, ot *obs.Trace) (*Graph, error) {
+	return NewWorkersCancel(tr, delta, workers, ot, nil)
+}
+
+// NewWorkersCancel is NewWorkersObs with a cooperative cancellation
+// token polled at amortized checkpoints of both build halves; once cc
+// fires the build abandons with a *engine.CanceledError and no graph.
+// A nil cc is inert, and a token that never fires leaves the built
+// graph byte-identical.
+func NewWorkersCancel(tr *trace.Trace, delta float64, workers int, ot *obs.Trace, cc *engine.Cancel) (*Graph, error) {
 	if delta <= 0 {
 		return nil, fmt.Errorf("stgraph: delta %g must be positive", delta)
 	}
@@ -149,10 +158,16 @@ func NewWorkersObs(tr *trace.Trace, delta float64, workers int, ot *obs.Trace) (
 	}
 	sp := ot.Start(obs.StageGraphSweep)
 	sw := newSweep(tr, delta, steps)
-	sw.run(g)
+	canceled := sw.run(g, cc)
 	sp.End()
+	if canceled {
+		return nil, cc.FiredErr()
+	}
 	sp = ot.Start(obs.StageGraphFrames)
-	buildFrames(g, sw, tr.NumNodes, workers)
+	if buildFrames(g, sw, tr.NumNodes, workers, cc) {
+		sp.End()
+		return nil, cc.FiredErr()
+	}
 	markStableComponents(g, sw.framePrev)
 	sp.End()
 	return g, nil
@@ -499,13 +514,18 @@ func (sw *sweep) remove(i int32) {
 // pair ranks by the earliest contact record covering the step — and
 // the frame-sharing rule (a step shares the previous step's frame iff
 // the ordered key lists are equal; empty steps all share one frame)
-// reproduce the pre-sweep builder exactly.
-func (sw *sweep) run(g *Graph) {
+// reproduce the pre-sweep builder exactly. It reports whether the
+// sweep abandoned at a cancellation checkpoint, leaving the graph
+// partially filled — the caller must then discard it.
+func (sw *sweep) run(g *Graph, cc *engine.Cancel) bool {
 	emptyFrame := int32(-1)
 	var prevKeys []uint64
 	prevValid := false // prevKeys meaningful (s > 0)
 
 	for s := 0; s < sw.steps; s++ {
+		if s&1023 == 1023 && cc.Stopped() {
+			return true
+		}
 		changed := false
 		for _, i := range sw.endEvents[sw.endIdx[s]:sw.endIdx[s+1]] {
 			sw.remove(i)
@@ -564,6 +584,7 @@ func (sw *sweep) run(g *Graph) {
 		prevKeys, prevValid = keys, true
 	}
 	sw.frameOff = append(sw.frameOff, int32(len(sw.pairSlab)))
+	return false
 }
 
 // emitKeys emits the frame whose keys start at pairSlab[mark],
@@ -630,7 +651,11 @@ func (a *arena[T]) alloc(n int) []T {
 // tables and distance matrices from per-worker arenas (their totals
 // are only known after labeling). Every frame writes only its own
 // slab regions, so graph contents are identical for any worker count.
-func buildFrames(g *Graph, sw *sweep, n, workers int) {
+// A fired cc makes the remaining frames no-ops (MapWorkers cannot stop
+// early) and buildFrames report true; the partial graph must then be
+// discarded. Both stop conditions are monotonic, so a false return
+// guarantees no frame was skipped.
+func buildFrames(g *Graph, sw *sweep, n, workers int, cc *engine.Cancel) bool {
 	frameOff, pairSlab := sw.frameOff, sw.pairSlab
 	numFrames := len(frameOff) - 1
 	if numFrames < 0 {
@@ -638,7 +663,7 @@ func buildFrames(g *Graph, sw *sweep, n, workers int) {
 	}
 	g.frames = make([]frame, numFrames)
 	if numFrames == 0 {
-		return
+		return false
 	}
 
 	activeOff := make([]int32, numFrames+1)
@@ -673,6 +698,9 @@ func buildFrames(g *Graph, sw *sweep, n, workers int) {
 	}
 
 	engine.MapWorkers(nw, numFrames, func(w, i int) {
+		if cc.Stopped() {
+			return
+		}
 		f := &g.frames[i]
 		f.offsets = offsetsSlab[i*(n+1) : (i+1)*(n+1)]
 		f.compID = compIDSlab[i*n : (i+1)*n]
@@ -712,6 +740,7 @@ func buildFrames(g *Graph, sw *sweep, n, workers int) {
 			b.degree[x], b.cursor[x] = 0, 0
 		}
 	})
+	return cc.Stopped()
 }
 
 // Static distance-matrix codes stored in frame.distRef: every

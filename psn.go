@@ -27,7 +27,13 @@
 //     latency histograms and per-request stage-span traces, threaded
 //     through the serving layer onto /metrics (LatencyHistogram,
 //     StageTrace; see cmd/psn-load and the README's Observability
-//     section).
+//     section);
+//   - the resilience layer: cooperative request cancellation
+//     (deadlines and client disconnects abandon compute at amortized
+//     checkpoints — CanceledError, IsCanceled), panic isolation,
+//     quarantine of corrupt on-disk artifacts (ErrArtifactCorrupt)
+//     and per-dataset degraded mode after repeated build failures
+//     (DegradedError); see the README's Resilience section.
 //
 // # Concurrency and determinism
 //
@@ -356,7 +362,8 @@ type (
 	// flags and the HTTP server.
 	Registry = service.Registry
 	// ServeConfig parametrizes the HTTP server (registry, workers,
-	// in-flight bound, result-cache size).
+	// in-flight bound, result-cache size, request deadline, fault
+	// injection).
 	ServeConfig = service.Config
 	// Server serves the repository's experiments as JSON endpoints
 	// over cached per-dataset artifacts. See cmd/psn-serve.
@@ -372,6 +379,27 @@ func NewRegistry() *Registry { return service.NewRegistry() }
 // NewServer builds the experiment-serving HTTP server; mount its
 // Handler under any http.Server.
 func NewServer(cfg ServeConfig) *Server { return service.New(cfg) }
+
+// Resilience.
+
+// CanceledError reports that a computation stopped at a cooperative
+// cancellation checkpoint (request deadline or client disconnect)
+// before completing. It unwraps to context.Canceled or
+// context.DeadlineExceeded. Cancellation never changes results: a
+// computation either completes byte-identical to an uncancelled run or
+// abandons with a CanceledError and no result at all.
+type CanceledError = engine.CanceledError
+
+// IsCanceled reports whether err is (or wraps) a CanceledError.
+func IsCanceled(err error) bool { return engine.IsCanceled(err) }
+
+// DegradedError is the serving layer's answer while a dataset is in a
+// build-failure backoff window: repeated artifact build failures trip
+// the dataset into degraded mode, new builds are refused with 503 +
+// Retry-After for the (exponentially growing, jittered) window, and a
+// probe build after each window restores service on success. Cached
+// artifacts keep serving throughout.
+type DegradedError = service.DegradedError
 
 // Artifact store (warm start).
 type (
@@ -400,6 +428,16 @@ const (
 // corruption — so callers can treat "fall back to a live build" as one
 // errors.Is check.
 var ErrArtifactMiss = artstore.ErrMiss
+
+// ErrArtifactCorrupt is additionally matched by load failures caused
+// by damaged bytes (truncation, checksum mismatch, malformed
+// structure) rather than clean misses. A corrupt artifact still
+// matches ErrArtifactMiss — fallback logic keeps working — but the
+// serving layer also quarantines the file (renames it aside with a
+// ".quarantined" suffix) so later boots miss cleanly instead of
+// re-reading the same bad bytes. Parameter or digest skew is a clean
+// miss, never corruption.
+var ErrArtifactCorrupt = artstore.ErrCorrupt
 
 // TraceDigest fingerprints a trace's full contact content (FNV-1a 64).
 // Artifacts are saved and looked up under this digest, so a store
