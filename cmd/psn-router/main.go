@@ -1,0 +1,127 @@
+// Command psn-router fronts a fleet of psn-serve replicas: requests
+// are sharded by dataset over a rendezvous hash with a failover
+// replica per dataset, backed by active health checking, per-backend
+// circuit breakers, a global retry budget, router-level backpressure
+// and client-deadline propagation. See internal/router and the
+// README's "Fleet serving" section.
+//
+// Usage:
+//
+//	psn-router -backends 127.0.0.1:8081,127.0.0.1:8082
+//	psn-router -addr :8080 -backends ... -replication 2
+//	psn-router -addr 127.0.0.1:0 -backends ...   # ephemeral; prints ADDR=
+//
+// On startup the actual bound address is printed to stdout as a
+// machine-parseable line:
+//
+//	ADDR=127.0.0.1:43651
+//
+// so fleet scripts can spawn routers on ephemeral ports without races
+// (logs go to stderr; stdout carries only the ADDR line).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/router"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address (port 0 = ephemeral; the bound address is printed as ADDR=host:port)")
+		backendsFlag = flag.String("backends", "", "comma-separated psn-serve replica addresses (required), e.g. 127.0.0.1:8081,127.0.0.1:8082")
+		replication  = flag.Int("replication", 0, "replicas per dataset: primary + failovers (0 = 2, clamped to the backend count)")
+		healthEvery  = flag.Duration("health-interval", 0, "active health-check period (0 = 1s)")
+		maxInflight  = flag.Int("max-inflight", 0, "max proxied requests in flight (0 = 16x GOMAXPROCS, <0 = unlimited); excess get 503 with X-Psn-Shed: router")
+		reqTimeout   = flag.Duration("request-timeout", 0, "end-to-end deadline per request across all attempts, propagated downstream via X-Psn-Deadline-Ms (0 = 30s, <0 = none)")
+		perTry       = flag.Duration("per-try-timeout", 0, "deadline per attempt, so a wedged replica costs one try before failover (0 = 10s, <0 = none)")
+		maxAttempts  = flag.Int("max-attempts", 0, "dispatches per request: first attempt + failovers (0 = 2)")
+		budgetRatio  = flag.Float64("retry-budget", 0, "global retry budget as a fraction of completed requests (0 = 0.2, <0 = unlimited)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown bound: /healthz flips to 503 and in-flight requests get this long to finish")
+	)
+	flag.Parse()
+
+	backends := splitBackends(*backendsFlag)
+	if len(backends) == 0 {
+		fmt.Fprintln(os.Stderr, "psn-router: -backends is required")
+		os.Exit(2)
+	}
+
+	rt, err := router.New(router.Config{
+		Backends:         backends,
+		Replication:      *replication,
+		HealthInterval:   *healthEvery,
+		MaxInflight:      *maxInflight,
+		RequestTimeout:   *reqTimeout,
+		PerTryTimeout:    *perTry,
+		MaxAttempts:      *maxAttempts,
+		RetryBudgetRatio: *budgetRatio,
+		Logger:           slog.New(slog.NewTextHandler(os.Stderr, nil)),
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "psn-router:", err)
+		os.Exit(2)
+	}
+	defer rt.Close()
+	rt.CheckNow() // route from a checked fleet picture on the first request
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("psn-router: %v", err)
+	}
+	// The machine-parseable bound address, on stdout by contract (all
+	// logging goes to stderr): fleet scripts read this line to learn
+	// ephemeral ports without a race.
+	fmt.Printf("ADDR=%s\n", ln.Addr())
+	os.Stdout.Sync()
+
+	hs := &http.Server{
+		Handler:           rt.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("psn-router: listening on %s (backends: %s)", ln.Addr(), strings.Join(backends, ", "))
+		errc <- hs.Serve(ln)
+	}()
+	select {
+	case err := <-errc:
+		log.Fatalf("psn-router: %v", err)
+	case <-ctx.Done():
+	}
+	// Graceful shutdown mirrors psn-serve: flip /healthz to 503 so an
+	// upstream balancer drains traffic away, then stop accepting and
+	// give in-flight proxied requests -drain-timeout to finish.
+	log.Print("psn-router: draining")
+	rt.SetDraining(true)
+	shctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(shctx); err != nil {
+		log.Fatalf("psn-router: shutdown: %v", err)
+	}
+	log.Print("psn-router: drained")
+}
+
+func splitBackends(s string) []string {
+	var out []string
+	for _, b := range strings.Split(s, ",") {
+		if b = strings.TrimSpace(b); b != "" {
+			out = append(out, b)
+		}
+	}
+	return out
+}

@@ -97,8 +97,17 @@ func main() {
 		return
 	}
 
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("psn-serve: %v", err)
+	}
+	// The machine-parseable bound address, on stdout by contract (all
+	// logging goes to stderr): fleet scripts and the CI smoke read this
+	// line to learn ephemeral ports (-addr :0) without a race.
+	fmt.Printf("ADDR=%s\n", ln.Addr())
+	os.Stdout.Sync()
+
 	hs := &http.Server{
-		Addr:              *addr,
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
@@ -107,8 +116,8 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("psn-serve: listening on %s (datasets: %s)", *addr, strings.Join(reg.Names(), ", "))
-		errc <- hs.ListenAndServe()
+		log.Printf("psn-serve: listening on %s (datasets: %s)", ln.Addr(), strings.Join(reg.Names(), ", "))
+		errc <- hs.Serve(ln)
 	}()
 	select {
 	case err := <-errc:

@@ -29,6 +29,14 @@ const (
 	// budget holds the whole envelope to at most 8 allocations over the
 	// pre-observability baseline.
 	serveWarmAllocsBudget = 117
+
+	// ServeEnumerateWarmRouted measured 242 allocs/op when the fleet
+	// router landed: the 114 of the replica's warm path plus the proxy
+	// envelope (body buffering, per-try context, rebuilt upstream
+	// request, header relay). The budget holds the router hop to at
+	// most ~130 allocations over the direct path — a breach means the
+	// proxy loop started allocating per candidate or per header.
+	serveWarmRoutedAllocsBudget = 250
 )
 
 // TestEnumerateConferenceMessageBytesBudget pins the explosion-scale
@@ -82,5 +90,23 @@ func TestServeEnumerateWarmAllocsBudget(t *testing.T) {
 	if got := r.AllocsPerOp(); got > serveWarmAllocsBudget {
 		t.Errorf("ServeEnumerateWarm allocates %d allocs/op, budget %d",
 			got, int64(serveWarmAllocsBudget))
+	}
+}
+
+// TestServeEnumerateWarmRoutedAllocsBudget pins the routed warm path:
+// the replica's serving allocations plus the router hop's proxy
+// envelope. A breach with ServeEnumerateWarm still in budget isolates
+// the regression to the router tier.
+func TestServeEnumerateWarmRoutedAllocsBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("serving benchmark in -short mode")
+	}
+	r := testing.Benchmark(ServeEnumerateWarmRouted)
+	if r.N == 0 {
+		t.Fatal("benchmark failed")
+	}
+	if got := r.AllocsPerOp(); got > serveWarmRoutedAllocsBudget {
+		t.Errorf("ServeEnumerateWarmRouted allocates %d allocs/op, budget %d",
+			got, int64(serveWarmRoutedAllocsBudget))
 	}
 }

@@ -1,0 +1,53 @@
+package faultinject
+
+import "net"
+
+// Listener wraps ln so each accepted connection consults the injector
+// at point first — the connect-level fault point the fleet chaos tests
+// arm to simulate a replica whose process is up but whose connections
+// die: a fault with an error (or panic — downgraded to an error here,
+// the accept loop must survive) closes the connection immediately, so
+// the client sees a reset during its request; a delay fault stalls the
+// handshake. A nil injector or unarmed point adds one pointer check
+// per accept.
+//
+// The standard -inject spec addresses it as the "accept" point, e.g.
+// `accept:err*3` to reset the first three connections.
+func Listener(ln net.Listener, in *Injector, point string) net.Listener {
+	if in == nil {
+		return ln
+	}
+	return &faultListener{Listener: ln, in: in, point: point}
+}
+
+type faultListener struct {
+	net.Listener
+	in    *Injector
+	point string
+}
+
+func (l *faultListener) Accept() (net.Conn, error) {
+	conn, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	if ferr := l.fire(); ferr != nil {
+		conn.Close()
+		// Hand the dead connection to the server anyway: net/http
+		// discovers the close on first read and drops it, while an error
+		// return here would terminate the whole accept loop.
+	}
+	return conn, nil
+}
+
+// fire triggers the point, converting a panic fault into an error —
+// a connect-level fault models a broken network path, not a crashed
+// acceptor.
+func (l *faultListener) fire() (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = ErrInjected
+		}
+	}()
+	return l.in.Fire(l.point)
+}

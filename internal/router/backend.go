@@ -1,0 +1,327 @@
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	mathrand "math/rand/v2"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/service"
+)
+
+// Breaker states. A backend's circuit breaker is the passive ejection
+// gate: consecutive request failures open it, an expired backoff window
+// lets exactly one probe request through (half-open), and the probe's
+// outcome closes it or re-opens a wider window — the same
+// threshold/backoff/jitter shape as the serving layer's per-dataset
+// degrader, applied per backend.
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+var breakerStateNames = [...]string{"closed", "open", "half-open"}
+
+// Failure reasons for per-backend failure counters.
+const (
+	failConnect = iota // transport error (dial refused, reset, EOF)
+	failTimeout        // per-try deadline expired
+	failStatus         // HTTP 5xx from the backend
+	numFailReasons
+)
+
+var failReasonNames = [numFailReasons]string{"connect", "timeout", "status"}
+
+// backend is one psn-serve replica behind the router: its address, the
+// health picture assembled by active /healthz checks, the circuit
+// breaker fed by passive per-request outcomes, and traffic counters.
+type backend struct {
+	baseURL string // normalized, no trailing slash, scheme included
+	name    string // host:port, the metrics label and rendezvous identity
+
+	// Health state from active checking, guarded by mu. checked flips
+	// true after the first completed probe; until then the backend is
+	// routed optimistically (a router booting ahead of its first sweep
+	// must not shed everything).
+	mu       sync.Mutex
+	checked  bool
+	healthy  bool            // probe succeeded (HTTP 200 or parseable 503)
+	status   string          // replica-reported status: ok, degraded, draining; "down" on probe failure
+	warm     map[string]bool // datasets with on-disk artifacts (empty when the replica has no store)
+	degraded map[string]bool // datasets in a build-failure backoff window
+
+	// Circuit breaker, guarded by mu.
+	state     int
+	fails     int       // consecutive request failures while closed
+	openUntil time.Time // end of the current open window
+	openings  int       // consecutive opens, widens the backoff window
+	probing   bool      // a half-open probe request is in flight
+
+	// Traffic counters (atomic; read by /metrics without the lock).
+	requests    atomic.Int64
+	successes   atomic.Int64
+	failures    [numFailReasons]atomic.Int64
+	ejected     atomic.Int64    // requests that skipped this backend on an open breaker
+	transitions [3]atomic.Int64 // breaker transitions into each state
+}
+
+// Breaker tuning: failThreshold consecutive failures open the breaker
+// for a window starting at breakerBase and doubling per consecutive
+// re-open up to breakerMax, with the window's upper half jittered so a
+// fleet of routers doesn't re-probe a recovering replica in lockstep —
+// mirroring the serving layer's degraded-dataset backoff shape.
+const (
+	defaultFailThreshold = 5
+	breakerBase          = time.Second
+	breakerMax           = time.Minute
+)
+
+func newBackend(addr string) *backend {
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	base = strings.TrimRight(base, "/")
+	name := base
+	if i := strings.Index(name, "://"); i >= 0 {
+		name = name[i+3:]
+	}
+	return &backend{baseURL: base, name: name, status: "unknown"}
+}
+
+// available reports whether routing should prefer this backend for
+// dataset: the last health probe answered (or none completed yet), the
+// replica is not draining, and the breaker is not sitting in an open
+// window. It is a routing-order hint only — admission is decided by
+// acquire at dispatch time.
+func (b *backend) available() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.checked && (!b.healthy || b.status == "draining") {
+		return false
+	}
+	if b.state == breakerOpen && time.Now().Before(b.openUntil) {
+		return false
+	}
+	return true
+}
+
+// goodness ranks a backend for a dataset among its replica set: higher
+// is better. Available beats unavailable, non-degraded (for this
+// dataset) beats degraded, warm beats cold; rendezvous order breaks
+// ties so the primary wins when replicas are equally fit.
+func (b *backend) goodness(dataset string) int {
+	g := 0
+	if b.available() {
+		g += 4
+	}
+	b.mu.Lock()
+	if dataset != "" && !b.degraded[dataset] {
+		g += 2
+	}
+	if dataset != "" && b.warm[dataset] {
+		g++
+	}
+	b.mu.Unlock()
+	return g
+}
+
+// acquire asks the breaker to admit one request. A closed breaker
+// admits; an open one inside its window refuses; an open one past its
+// window transitions to half-open and admits a single probe (other
+// requests keep being refused until the probe reports back).
+func (b *backend) acquire() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if time.Now().Before(b.openUntil) {
+			return false
+		}
+		b.setState(breakerHalfOpen)
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// report feeds one request outcome into the breaker. Success closes
+// half-open breakers and resets the failure streak; failure counts
+// toward the threshold and re-opens half-open breakers with a wider
+// window.
+func (b *backend) report(success bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if success {
+		b.fails = 0
+		b.openings = 0
+		b.probing = false
+		if b.state != breakerClosed {
+			b.setState(breakerClosed)
+		}
+		return
+	}
+	b.fails++
+	switch b.state {
+	case breakerHalfOpen:
+		b.probing = false
+		b.open()
+	case breakerClosed:
+		if b.fails >= defaultFailThreshold {
+			b.open()
+		}
+	}
+}
+
+// open (mu held) starts a backoff window: base doubled per consecutive
+// opening, capped, upper half jittered.
+func (b *backend) open() {
+	shift := b.openings
+	if shift > 10 {
+		shift = 10
+	}
+	w := breakerBase << shift
+	if w > breakerMax {
+		w = breakerMax
+	}
+	w = w/2 + time.Duration(mathrand.Int64N(int64(w/2)+1))
+	b.openings++
+	b.openUntil = time.Now().Add(w)
+	b.setState(breakerOpen)
+}
+
+// setState (mu held) records a breaker transition.
+func (b *backend) setState(s int) {
+	b.state = s
+	b.transitions[s].Add(1)
+}
+
+// breakerState returns the current breaker state, resolving an expired
+// open window as still "open" (the transition to half-open happens on
+// the next acquire, not on observation).
+func (b *backend) breakerState() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// retryAfterHint returns how long until the breaker would admit a
+// probe, for Retry-After hints when every replica is refusing.
+func (b *backend) retryAfterHint() time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != breakerOpen {
+		return 0
+	}
+	return time.Until(b.openUntil)
+}
+
+// checkHealth runs one active health probe: GET /healthz with a bounded
+// context, parsing the replica's status, per-dataset warm list and
+// degraded list. A 503 with a parseable body is still information
+// (draining replicas answer 503 with status "draining"); a transport
+// error or unparseable body marks the backend down.
+func (b *backend) checkHealth(client *http.Client, timeout time.Duration) {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.baseURL+"/healthz", nil)
+	if err != nil {
+		b.setHealth(false, "down", nil, nil)
+		return
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		b.setHealth(false, "down", nil, nil)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+	if err != nil {
+		b.setHealth(false, "down", nil, nil)
+		return
+	}
+	var h service.HealthResponse
+	if err := json.Unmarshal(body, &h); err != nil {
+		b.setHealth(false, "down", nil, nil)
+		return
+	}
+	warm := make(map[string]bool)
+	if h.Artifacts != nil {
+		for _, d := range h.Artifacts.Warm {
+			warm[d] = true
+		}
+	}
+	degraded := make(map[string]bool, len(h.Degraded))
+	for _, d := range h.Degraded {
+		degraded[d] = true
+	}
+	b.setHealth(true, h.Status, warm, degraded)
+}
+
+func (b *backend) setHealth(healthy bool, status string, warm, degraded map[string]bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.checked = true
+	b.healthy = healthy
+	b.status = status
+	b.warm = warm
+	b.degraded = degraded
+}
+
+// snapshotHealth returns the fields /healthz aggregation needs in one
+// lock acquisition.
+func (b *backend) snapshotHealth() (checked, healthy bool, status string, warm, degraded []string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	warm = sortedKeys(b.warm)
+	degraded = sortedKeys(b.degraded)
+	return b.checked, b.healthy, b.status, warm, degraded
+}
+
+func sortedKeys(m map[string]bool) []string {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ { // insertion sort: tiny dataset lists
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// classify maps one attempt outcome onto a failure reason, or -1 for
+// success (any response below 500 counts: the request reached a live
+// replica and got a definitive answer).
+func classify(err error, status int, ctx context.Context) int {
+	switch {
+	case err == nil && status < 500:
+		return -1
+	case err == nil:
+		return failStatus
+	case ctx.Err() != nil:
+		return failTimeout
+	default:
+		return failConnect
+	}
+}
+
+func (b *backend) String() string { return fmt.Sprintf("backend(%s)", b.name) }

@@ -1,0 +1,221 @@
+package router
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/service"
+)
+
+// TestFleet is the in-process fleet harness behind the chaos suite and
+// the served-equivalence tests: N psn-serve replicas on real ephemeral
+// TCP ports (so killing one produces genuine connection-refused, not a
+// simulated error), each with its own armed-on-demand fault injector,
+// fronted by a Router that is itself served over TCP so load
+// generators can target it like a deployed tier.
+type TestFleet struct {
+	Replicas []*FleetReplica
+	Router   *Router
+
+	// URL is the router's base URL (http://127.0.0.1:port).
+	URL string
+
+	hs   *http.Server
+	ln   net.Listener
+	done chan error
+}
+
+// FleetConfig parametrizes StartTestFleet. The zero value starts two
+// replicas with default service configuration and a default router.
+type FleetConfig struct {
+	// Replicas is the fleet size. Zero means 2.
+	Replicas int
+
+	// Service is the base configuration every replica is started with;
+	// the harness overrides Faults with a per-replica injector
+	// (reachable as FleetReplica.Faults) and, when Logger is nil,
+	// silences logging — injected panics are expected noise here. Set
+	// ArtifactDir to give the fleet a shared warm store.
+	Service service.Config
+
+	// Router overrides the router configuration; Backends is filled in
+	// by the harness. Leave HealthInterval unset for the 1s default, or
+	// negative to drive health sweeps explicitly via CheckNow.
+	Router Config
+}
+
+// FleetReplica is one in-process psn-serve replica: its bound address,
+// its fault injector (arm points with Faults.Set, or parse an -inject
+// spec into it), and lifecycle controls mirroring a real deployment —
+// Drain is the SIGTERM path, Kill the OOM-kill path, Restart the
+// supervisor bringing the process back on the same port.
+type FleetReplica struct {
+	// Addr is the replica's bound host:port, stable across Restart.
+	Addr string
+
+	// Faults is the replica's injector, armed through the same points
+	// as psn-serve -inject, plus the connect-level "accept" point.
+	Faults *faultinject.Injector
+
+	// Server is the replica's service layer, exposed so equivalence
+	// tests can call the library directly on the same registry.
+	Server *service.Server
+
+	mu   sync.Mutex
+	hs   *http.Server
+	ln   net.Listener
+	done chan error
+}
+
+// StartTestFleet boots the replicas and the router, runs one health
+// sweep so routing starts from a checked fleet, and returns the
+// harness. Close tears everything down.
+func StartTestFleet(cfg FleetConfig) (*TestFleet, error) {
+	n := cfg.Replicas
+	if n == 0 {
+		n = 2
+	}
+	f := &TestFleet{done: make(chan error, 1)}
+	ok := false
+	defer func() {
+		if !ok {
+			f.Close()
+		}
+	}()
+
+	backends := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		scfg := cfg.Service
+		scfg.Faults = faultinject.New()
+		if scfg.Logger == nil {
+			scfg.Logger = slog.New(slog.DiscardHandler)
+		}
+		rep := &FleetReplica{
+			Faults: scfg.Faults,
+			Server: service.New(scfg),
+		}
+		if err := rep.start("127.0.0.1:0"); err != nil {
+			return nil, fmt.Errorf("replica %d: %w", i, err)
+		}
+		f.Replicas = append(f.Replicas, rep)
+		backends = append(backends, rep.Addr)
+	}
+
+	rcfg := cfg.Router
+	rcfg.Backends = backends
+	rt, err := New(rcfg)
+	if err != nil {
+		return nil, err
+	}
+	f.Router = rt
+	rt.CheckNow()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	f.ln = ln
+	f.URL = "http://" + ln.Addr().String()
+	f.hs = &http.Server{Handler: rt.Handler()}
+	go func() { f.done <- f.hs.Serve(ln) }()
+	ok = true
+	return f, nil
+}
+
+// Close hard-stops the router and every replica still running.
+func (f *TestFleet) Close() {
+	if f.hs != nil {
+		f.hs.Close()
+		<-f.done
+	} else if f.ln != nil {
+		f.ln.Close()
+	}
+	if f.Router != nil {
+		f.Router.Close()
+	}
+	for _, rep := range f.Replicas {
+		rep.Kill()
+	}
+}
+
+// start listens on addr (ephemeral on first start, the recorded
+// address on Restart), wires the connect-level fault point, and serves.
+func (rep *FleetReplica) start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	rep.mu.Lock()
+	rep.Addr = ln.Addr().String()
+	rep.ln = ln
+	rep.hs = &http.Server{Handler: rep.Server.Handler()}
+	rep.done = make(chan error, 1)
+	hs, done := rep.hs, rep.done
+	rep.mu.Unlock()
+	go func() { done <- hs.Serve(faultinject.Listener(ln, rep.Faults, "accept")) }()
+	return nil
+}
+
+// Kill hard-stops the replica: listener and every open connection are
+// closed immediately, in-flight requests included — the OOM-kill /
+// power-loss model. Clients mid-request see a reset; new connects see
+// connection refused. Idempotent.
+func (rep *FleetReplica) Kill() {
+	rep.mu.Lock()
+	hs, done := rep.hs, rep.done
+	rep.hs, rep.ln = nil, nil
+	rep.mu.Unlock()
+	if hs == nil {
+		return
+	}
+	hs.Close()
+	<-done
+}
+
+// Drain gracefully stops the replica through the identical code path
+// cmd/psn-serve runs on SIGTERM: /healthz flips to 503 "draining"
+// first (so the router's next health sweep routes new traffic away),
+// then the listener closes and in-flight requests get ctx to finish.
+func (rep *FleetReplica) Drain(ctx context.Context) error {
+	rep.mu.Lock()
+	hs, done := rep.hs, rep.done
+	rep.hs, rep.ln = nil, nil
+	rep.mu.Unlock()
+	if hs == nil {
+		return nil
+	}
+	rep.Server.SetDraining(true)
+	err := hs.Shutdown(ctx)
+	<-done
+	return err
+}
+
+// Restart brings a killed or drained replica back on its original
+// port, un-draining it first — the supervisor-restart model the chaos
+// suite uses to watch the breaker walk open → half-open → closed. The
+// port can need a moment to be reusable after a hard Kill; Restart
+// retries briefly.
+func (rep *FleetReplica) Restart() error {
+	rep.mu.Lock()
+	running := rep.hs != nil
+	addr := rep.Addr
+	rep.mu.Unlock()
+	if running {
+		return fmt.Errorf("replica %s: already running", addr)
+	}
+	rep.Server.SetDraining(false)
+	var err error
+	for i := 0; i < 50; i++ {
+		if err = rep.start(addr); err == nil {
+			return nil
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return fmt.Errorf("replica %s: restart: %w", addr, err)
+}

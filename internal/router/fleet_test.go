@@ -1,0 +1,703 @@
+package router
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/pathenum"
+	"repro/internal/service"
+)
+
+// fleetClient is a dedicated client per test so idle connections can
+// be torn down for the goroutine-leak checks.
+func fleetClient(t *testing.T) *http.Client {
+	t.Helper()
+	c := &http.Client{Timeout: 30 * time.Second, Transport: &http.Transport{}}
+	t.Cleanup(c.CloseIdleConnections)
+	return c
+}
+
+func doReq(t *testing.T, c *http.Client, method, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body != "" {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.Do(req)
+	if err != nil {
+		t.Fatalf("%s %s: %v", method, url, err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+// primaryFor returns the rendezvous-primary replica of key in f, plus
+// any other replica as the expected failover target.
+func primaryFor(f *TestFleet, key string) (primary, other *FleetReplica) {
+	order := rankBackends(f.Router.backends, key)
+	name := f.Router.backends[order[0]].name
+	for _, rep := range f.Replicas {
+		if rep.Addr == name {
+			primary = rep
+		} else if other == nil {
+			other = rep
+		}
+	}
+	return primary, other
+}
+
+// victimBackend returns the router's backend record for a replica.
+func victimBackend(f *TestFleet, rep *FleetReplica) *backend {
+	for _, b := range f.Router.backends {
+		if b.name == rep.Addr {
+			return b
+		}
+	}
+	return nil
+}
+
+// routedCase is one request in the equivalence and chaos workloads.
+type routedCase struct {
+	name   string
+	method string
+	path   string
+	body   string
+}
+
+// mixedWorkload is the request mix the fleet tests drive: single and
+// batch enumerate, simulate in both copy modes, two datasets, plus the
+// read-only probe endpoints.
+func mixedWorkload(short bool) []routedCase {
+	cases := []routedCase{
+		{"enumerate_dev", "POST", "/enumerate", `{"dataset":"dev","src":0,"dst":17,"start":0,"k":50}`},
+		{"enumerate_dev_batch", "POST", "/enumerate", `{"dataset":"dev","messages":[{"src":1,"dst":9,"start":120},{"src":5,"dst":2,"start":300.5}],"k":40}`},
+		{"simulate_dev_replicate", "POST", "/simulate", `{"dataset":"dev","algorithm":"epidemic","runs":2,"seed":1}`},
+		{"simulate_dev_relay", "POST", "/simulate", `{"dataset":"dev","algorithm":"epidemic","copyMode":"relay","runs":1,"seed":7}`},
+		{"datasets", "GET", "/datasets", ""},
+		{"figures", "GET", "/figures", ""},
+	}
+	if !short {
+		cases = append(cases,
+			routedCase{"enumerate_infocom", "POST", "/enumerate", `{"dataset":"infocom-3-6","messages":[{"src":25,"dst":60,"start":600}],"k":30}`},
+			routedCase{"simulate_infocom_relay", "POST", "/simulate", `{"dataset":"infocom-3-6","algorithm":"epidemic","copyMode":"relay","runs":1,"seed":2}`},
+		)
+	}
+	return cases
+}
+
+// referenceBytes computes each case's expected response bytes from a
+// standalone single replica — the direct single-replica run the router
+// fleet must match byte for byte. (The replica layer's own
+// equivalence suite pins these same bytes to direct library calls, so
+// the chain router ≡ replica ≡ library is closed.)
+func referenceBytes(t *testing.T, cases []routedCase) map[string][]byte {
+	t.Helper()
+	ref := httptest.NewServer(service.New(service.Config{}).Handler())
+	defer ref.Close()
+	client := &http.Client{Timeout: 60 * time.Second}
+	defer client.CloseIdleConnections()
+	want := make(map[string][]byte, len(cases))
+	for _, tc := range cases {
+		resp, body := func() (*http.Response, []byte) {
+			var rd io.Reader
+			if tc.body != "" {
+				rd = strings.NewReader(tc.body)
+			}
+			req, err := http.NewRequest(tc.method, ref.URL+tc.path, rd)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := client.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			b, err := io.ReadAll(resp.Body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return resp, b
+		}()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("reference %s: status %d: %s", tc.name, resp.StatusCode, body)
+		}
+		want[tc.name] = body
+	}
+	return want
+}
+
+// TestRouterServedEquivalence pins the fleet determinism contract:
+// every endpoint answers byte-identically through the router as from a
+// direct single-replica run (and, for the experiment endpoints, as a
+// direct library call) — dev and infocom datasets, both simulate copy
+// modes — including under concurrent stress across both replicas.
+func TestRouterServedEquivalence(t *testing.T) {
+	f, err := StartTestFleet(FleetConfig{Router: Config{HealthInterval: -1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	client := fleetClient(t)
+
+	cases := mixedWorkload(testing.Short())
+	want := referenceBytes(t, cases)
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, body := doReq(t, client, tc.method, f.URL+tc.path, tc.body)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("status %d: %s", resp.StatusCode, body)
+			}
+			if !bytes.Equal(body, want[tc.name]) {
+				t.Errorf("routed response differs from direct single-replica run\nrouted: %.200s\ndirect: %.200s", body, want[tc.name])
+			}
+			if resp.Header.Get("X-Psn-Backend") == "" {
+				t.Error("routed response missing X-Psn-Backend")
+			}
+			if id := resp.Header.Get("X-Psn-Request"); !isRequestID(id) {
+				t.Errorf("routed response has malformed X-Psn-Request %q", id)
+			}
+		})
+	}
+
+	// Direct library equivalence: the routed /enumerate bytes must equal
+	// the library answer computed inside one of the very replicas behind
+	// the router (Server.Enumerate is the handler's compute path without
+	// any HTTP).
+	direct, err := f.Replicas[0].Server.Enumerate("dev",
+		[]pathenum.Message{{Src: 0, Dst: 17, Start: 0}}, pathenum.Options{K: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	directBytes, err := json.Marshal(direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	directBytes = append(directBytes, '\n')
+	if !bytes.Equal(directBytes, want["enumerate_dev"]) {
+		t.Error("direct library enumerate differs from the single-replica reference")
+	}
+
+	// Concurrent stress: all cases, several workers, both replicas in
+	// play — every response still byte-identical.
+	var wg sync.WaitGroup
+	errc := make(chan error, 64)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 6; i++ {
+				tc := cases[(w+i)%len(cases)]
+				var rd io.Reader
+				if tc.body != "" {
+					rd = strings.NewReader(tc.body)
+				}
+				req, _ := http.NewRequest(tc.method, f.URL+tc.path, rd)
+				resp, err := client.Do(req)
+				if err != nil {
+					errc <- fmt.Errorf("worker %d %s: %v", w, tc.name, err)
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					errc <- err
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					errc <- fmt.Errorf("worker %d %s: status %d", w, tc.name, resp.StatusCode)
+					continue
+				}
+				if !bytes.Equal(body, want[tc.name]) {
+					errc <- fmt.Errorf("worker %d %s: response bytes diverged under concurrency", w, tc.name)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}
+
+// TestRouterShardingAffinity verifies requests for one dataset stick
+// to its rendezvous primary while the fleet is healthy.
+func TestRouterShardingAffinity(t *testing.T) {
+	f, err := StartTestFleet(FleetConfig{Router: Config{HealthInterval: -1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	client := fleetClient(t)
+
+	primary, _ := primaryFor(f, "dev")
+	body := `{"dataset":"dev","src":0,"dst":17,"start":0,"k":50}`
+	for i := 0; i < 5; i++ {
+		resp, out := doReq(t, client, "POST", f.URL+"/enumerate", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, out)
+		}
+		if got := resp.Header.Get("X-Psn-Backend"); got != primary.Addr {
+			t.Fatalf("request %d served by %s, want primary %s", i, got, primary.Addr)
+		}
+		if resp.Header.Get("X-Psn-Failovers") != "" {
+			t.Fatal("healthy fleet reported failovers")
+		}
+	}
+}
+
+// TestRouterFailoverOnKill hard-kills the primary of a dataset with the
+// router's health picture stale and asserts the passive path: the
+// client still gets 200, byte-identical, with one failover recorded.
+func TestRouterFailoverOnKill(t *testing.T) {
+	f, err := StartTestFleet(FleetConfig{Router: Config{HealthInterval: -1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	client := fleetClient(t)
+
+	body := `{"dataset":"dev","src":0,"dst":17,"start":0,"k":50}`
+	resp, want := doReq(t, client, "POST", f.URL+"/enumerate", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pre-kill status %d", resp.StatusCode)
+	}
+
+	primary, secondary := primaryFor(f, "dev")
+	primary.Kill()
+
+	resp, got := doReq(t, client, "POST", f.URL+"/enumerate", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-kill status %d: %s", resp.StatusCode, got)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("failover response not byte-identical")
+	}
+	if b := resp.Header.Get("X-Psn-Backend"); b != secondary.Addr {
+		t.Errorf("failover served by %s, want secondary %s", b, secondary.Addr)
+	}
+	if fo := resp.Header.Get("X-Psn-Failovers"); fo != "1" {
+		t.Errorf("X-Psn-Failovers = %q, want 1", fo)
+	}
+	vb := victimBackend(f, primary)
+	if vb.failures[failConnect].Load() == 0 {
+		t.Error("kill did not register a connect failure on the primary")
+	}
+}
+
+// TestRouterDrainFailover proves the drain contract end to end: while
+// a replica drains through the identical code path cmd/psn-serve runs
+// on SIGTERM (healthz 503 "draining", listener closed, in-flight
+// requests finishing), its in-flight request completes normally and
+// the router routes new requests to the secondary with zero client-
+// visible errors.
+func TestRouterDrainFailover(t *testing.T) {
+	f, err := StartTestFleet(FleetConfig{Router: Config{HealthInterval: -1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	client := fleetClient(t)
+
+	body := `{"dataset":"dev","src":0,"dst":17,"start":0,"k":50}`
+	resp, want := doReq(t, client, "POST", f.URL+"/enumerate", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm-up status %d", resp.StatusCode)
+	}
+
+	primary, secondary := primaryFor(f, "dev")
+
+	// Park one request inside the primary's handler, then start the
+	// drain while it is still running.
+	primary.Faults.Set("enumerate", faultinject.Fault{Delay: 600 * time.Millisecond, Count: 1})
+	type slowResult struct {
+		resp *http.Response
+		body []byte
+		err  error
+	}
+	slow := make(chan slowResult, 1)
+	go func() {
+		req, _ := http.NewRequest("POST", f.URL+"/enumerate", strings.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := client.Do(req)
+		if err != nil {
+			slow <- slowResult{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		slow <- slowResult{resp: resp, body: b, err: err}
+	}()
+	time.Sleep(150 * time.Millisecond) // request parked in the delay fault
+
+	drained := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		drained <- primary.Drain(ctx)
+	}()
+	time.Sleep(100 * time.Millisecond) // drain under way: listener closed, request still in flight
+
+	// New requests during the drain: all must succeed on the secondary.
+	for i := 0; i < 3; i++ {
+		resp, out := doReq(t, client, "POST", f.URL+"/enumerate", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("request %d during drain: status %d: %s", i, resp.StatusCode, out)
+		}
+		if !bytes.Equal(out, want) {
+			t.Fatalf("request %d during drain: bytes diverged", i)
+		}
+		if b := resp.Header.Get("X-Psn-Backend"); b != secondary.Addr {
+			t.Fatalf("request %d during drain served by %s, want secondary %s", i, b, secondary.Addr)
+		}
+	}
+
+	// The in-flight request finished normally on the draining primary.
+	sr := <-slow
+	if sr.err != nil {
+		t.Fatalf("in-flight request during drain: %v", sr.err)
+	}
+	if sr.resp.StatusCode != http.StatusOK {
+		t.Fatalf("in-flight request during drain: status %d: %s", sr.resp.StatusCode, sr.body)
+	}
+	if !bytes.Equal(sr.body, want) {
+		t.Error("in-flight drained response not byte-identical")
+	}
+	if b := sr.resp.Header.Get("X-Psn-Backend"); b != primary.Addr {
+		t.Errorf("in-flight request served by %s, want draining primary %s", b, primary.Addr)
+	}
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+// TestRouterHealthzAggregation walks the fleet /healthz verdicts: ok
+// with every replica healthy, degraded with one down, down (503) with
+// all down, draining (503) when the router itself drains.
+func TestRouterHealthzAggregation(t *testing.T) {
+	f, err := StartTestFleet(FleetConfig{Router: Config{HealthInterval: -1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	client := fleetClient(t)
+
+	check := func(wantStatus string, wantCode int) {
+		t.Helper()
+		resp, body := doReq(t, client, "GET", f.URL+"/healthz", "")
+		if resp.StatusCode != wantCode {
+			t.Fatalf("/healthz code %d, want %d (%s)", resp.StatusCode, wantCode, body)
+		}
+		var fh FleetHealth
+		if err := json.Unmarshal(body, &fh); err != nil {
+			t.Fatal(err)
+		}
+		if fh.Status != wantStatus {
+			t.Fatalf("/healthz status %q, want %q (%s)", fh.Status, wantStatus, body)
+		}
+		if len(fh.Backends) != len(f.Replicas) {
+			t.Fatalf("/healthz lists %d backends, want %d", len(fh.Backends), len(f.Replicas))
+		}
+	}
+
+	check("ok", http.StatusOK)
+
+	f.Replicas[0].Kill()
+	f.Router.CheckNow()
+	check("degraded", http.StatusOK)
+
+	f.Replicas[1].Kill()
+	f.Router.CheckNow()
+	check("down", http.StatusServiceUnavailable)
+
+	if err := f.Replicas[0].Restart(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Replicas[1].Restart(); err != nil {
+		t.Fatal(err)
+	}
+	f.Router.CheckNow()
+	check("ok", http.StatusOK)
+
+	f.Router.SetDraining(true)
+	check("draining", http.StatusServiceUnavailable)
+	f.Router.SetDraining(false)
+}
+
+// TestDeadlinePropagation verifies the router hands its remaining
+// request budget downstream: the X-Psn-Deadline-Ms header arrives at
+// the backend, positive and within the router's own budget.
+func TestDeadlinePropagation(t *testing.T) {
+	gotMs := make(chan int64, 1)
+	be := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ms, _ := strconv.ParseInt(r.Header.Get("X-Psn-Deadline-Ms"), 10, 64)
+		select {
+		case gotMs <- ms:
+		default:
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer be.Close()
+
+	rt, err := New(Config{
+		Backends:       []string{strings.TrimPrefix(be.URL, "http://")},
+		HealthInterval: -1,
+		RequestTimeout: 400 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	srv := httptest.NewServer(rt.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/datasets")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	ms := <-gotMs
+	if ms <= 0 || ms > 400 {
+		t.Fatalf("X-Psn-Deadline-Ms = %d, want in (0, 400]", ms)
+	}
+}
+
+// TestRouterDeadlineEndToEnd arms slow faults on every replica and
+// asserts the deadline machinery bounds the damage: with compute that
+// would take over 2s, the client gets its 503 in well under a second
+// because the propagated deadline fires the replicas' cooperative
+// cancellation (and the router's own deadline backstops it).
+func TestRouterDeadlineEndToEnd(t *testing.T) {
+	f, err := StartTestFleet(FleetConfig{
+		Router: Config{HealthInterval: -1, RequestTimeout: 300 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	client := fleetClient(t)
+
+	// Warm both replicas first so only the armed delay is slow.
+	body := `{"dataset":"dev","src":0,"dst":17,"start":0,"k":50}`
+	doReq(t, client, "POST", f.URL+"/enumerate", body)
+
+	for _, rep := range f.Replicas {
+		rep.Faults.Set("enumerate", faultinject.Fault{Delay: 2 * time.Second})
+	}
+	t0 := time.Now()
+	resp, out := doReq(t, client, "POST", f.URL+"/enumerate",
+		`{"dataset":"dev","src":1,"dst":5,"start":0,"k":50}`)
+	elapsed := time.Since(t0)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d (%s), want 503", resp.StatusCode, out)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("deadline 503 missing Retry-After")
+	}
+	if elapsed > time.Second {
+		t.Errorf("deadline response took %v, want well under 1s (faults add 2s per try)", elapsed)
+	}
+	for _, rep := range f.Replicas {
+		rep.Faults.Clear("enumerate")
+	}
+}
+
+// TestRouterBackpressureShed pins the router-tier shed marker: with
+// MaxInflight 1 and a parked request, the overflow request is shed
+// with 503, Retry-After and X-Psn-Shed: router.
+func TestRouterBackpressureShed(t *testing.T) {
+	f, err := StartTestFleet(FleetConfig{
+		Router: Config{HealthInterval: -1, MaxInflight: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	client := fleetClient(t)
+
+	body := `{"dataset":"dev","src":0,"dst":17,"start":0,"k":50}`
+	doReq(t, client, "POST", f.URL+"/enumerate", body) // warm
+
+	// Park via the "handler" point: the warm-up above cached the result,
+	// so the compute-side "enumerate" point would never fire again.
+	primary, _ := primaryFor(f, "dev")
+	primary.Faults.Set("handler", faultinject.Fault{Delay: 500 * time.Millisecond, Count: 1})
+	parked := make(chan struct{})
+	go func() {
+		defer close(parked)
+		doReq(t, client, "POST", f.URL+"/enumerate", body)
+	}()
+	time.Sleep(100 * time.Millisecond)
+
+	resp, out := doReq(t, client, "POST", f.URL+"/enumerate", body)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("overflow status %d (%s), want 503", resp.StatusCode, out)
+	}
+	if got := resp.Header.Get("X-Psn-Shed"); got != "router" {
+		t.Errorf("X-Psn-Shed = %q, want router", got)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("router shed missing Retry-After")
+	}
+	<-parked
+}
+
+// TestFleetChaos is the fleet-level chaos suite: under a concurrent
+// mixed workload, one replica is fault-injected (errors, panics,
+// delays) and then hard-killed with the router's health picture stale
+// — and the client must never see it: zero client-visible errors,
+// every response byte-identical to a direct single-replica run, the
+// victim's breaker opens and — after a supervised restart — recovers
+// through half-open back to closed, and goroutine counts return to
+// baseline.
+func TestFleetChaos(t *testing.T) {
+	goroutinesBefore := runtime.NumGoroutine()
+
+	func() {
+		f, err := StartTestFleet(FleetConfig{Router: Config{HealthInterval: -1}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		client := fleetClient(t)
+
+		cases := mixedWorkload(true) // dev-only mix keeps the chaos phases fast
+		want := referenceBytes(t, cases)
+
+		runWorkload := func(phase string, workers, perWorker int) {
+			t.Helper()
+			var wg sync.WaitGroup
+			errc := make(chan error, workers*perWorker)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < perWorker; i++ {
+						tc := cases[(w+i)%len(cases)]
+						var rd io.Reader
+						if tc.body != "" {
+							rd = strings.NewReader(tc.body)
+						}
+						req, _ := http.NewRequest(tc.method, f.URL+tc.path, rd)
+						resp, err := client.Do(req)
+						if err != nil {
+							errc <- fmt.Errorf("%s worker %d %s: %v", phase, w, tc.name, err)
+							return
+						}
+						body, err := io.ReadAll(resp.Body)
+						resp.Body.Close()
+						if err != nil {
+							errc <- fmt.Errorf("%s worker %d %s: read: %v", phase, w, tc.name, err)
+							return
+						}
+						if resp.StatusCode != http.StatusOK {
+							errc <- fmt.Errorf("%s worker %d %s: client-visible status %d: %.120s", phase, w, tc.name, resp.StatusCode, body)
+							continue
+						}
+						if !bytes.Equal(body, want[tc.name]) {
+							errc <- fmt.Errorf("%s worker %d %s: bytes differ from single-replica run", phase, w, tc.name)
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			close(errc)
+			for err := range errc {
+				t.Error(err)
+			}
+		}
+
+		// Phase A: healthy fleet.
+		runWorkload("healthy", 4, 6)
+
+		// Phase B: fault-inject the dev primary — errors, a panic, delays
+		// — while the workload keeps running. The router must absorb all
+		// of it via failover.
+		victim, _ := primaryFor(f, "dev")
+		vb := victimBackend(f, victim)
+		victim.Faults.Set("enumerate", faultinject.Fault{Err: faultinject.ErrInjected, Count: 3})
+		victim.Faults.Set("handler", faultinject.Fault{Panic: "chaos", Count: 2})
+		victim.Faults.Set("simulate", faultinject.Fault{Delay: 20 * time.Millisecond, Count: 3})
+		runWorkload("faulted", 4, 6)
+
+		// Phase C: hard-kill the victim with the health picture stale
+		// (HealthInterval is -1 and no CheckNow — the router finds out
+		// the passive way). Clients still see nothing.
+		victim.Kill()
+		runWorkload("killed", 4, 6)
+		if vb.failures[failConnect].Load() == 0 {
+			t.Error("killed victim registered no connect failures")
+		}
+		if vb.transitions[breakerOpen].Load() == 0 {
+			t.Error("victim breaker never opened under sustained connect failures")
+		}
+
+		// Phase D: supervised restart. Expire the breaker window, let the
+		// half-open probe through, and verify full recovery: breaker
+		// closed, traffic for dev back on its primary, bytes identical.
+		if err := victim.Restart(); err != nil {
+			t.Fatal(err)
+		}
+		f.Router.CheckNow()
+		vb.mu.Lock()
+		if vb.state == breakerOpen {
+			vb.openUntil = time.Now().Add(-time.Millisecond)
+		}
+		vb.mu.Unlock()
+		runWorkload("recovered", 2, 6)
+		if vb.breakerState() != breakerClosed {
+			t.Errorf("victim breaker %s after recovery, want closed", breakerStateNames[vb.breakerState()])
+		}
+		if vb.transitions[breakerHalfOpen].Load() == 0 {
+			t.Error("victim breaker never went half-open on the way back")
+		}
+		if vb.transitions[breakerClosed].Load() == 0 {
+			t.Error("victim breaker never re-closed")
+		}
+
+		// The failover machinery genuinely engaged.
+		if f.Router.metrics.failovers.Load() == 0 {
+			t.Error("chaos run recorded zero failovers")
+		}
+	}()
+
+	// Goroutine leak check: after tearing the fleet down and closing
+	// idle client connections, the count returns to (near) baseline.
+	http.DefaultClient.CloseIdleConnections()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		now := runtime.NumGoroutine()
+		if now <= goroutinesBefore+4 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutine leak: %d before chaos, %d after", goroutinesBefore, now)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

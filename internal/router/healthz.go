@@ -1,0 +1,85 @@
+package router
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// FleetHealth is the router's /healthz body: the fleet-level verdict
+// plus each backend's last-probed state, so one scrape answers "is the
+// fleet serving" and "which replica is the problem" at once.
+type FleetHealth struct {
+	// Status is "ok" when every backend is healthy, "degraded" when at
+	// least one but not all are (or any reports degraded datasets), and
+	// "down" when none is dispatchable. A draining router reports
+	// "draining" regardless.
+	Status   string          `json:"status"`
+	Backends []BackendHealth `json:"backends"`
+}
+
+// BackendHealth is one replica's state as the router sees it.
+type BackendHealth struct {
+	Name     string   `json:"name"`
+	Healthy  bool     `json:"healthy"`
+	Status   string   `json:"status"`  // replica-reported: ok, degraded, draining; "down"/"unknown" router-side
+	Breaker  string   `json:"breaker"` // closed, open, half-open
+	Warm     []string `json:"warm,omitempty"`
+	Degraded []string `json:"degraded,omitempty"`
+}
+
+// handleHealthz aggregates fleet state: 200 while at least one backend
+// can take traffic, 503 when none can (or the router itself is
+// draining) — so an upstream balancer or orchestrator probing the
+// router sees the fleet's real availability, not the router process's.
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	fh := FleetHealth{Backends: make([]BackendHealth, 0, len(rt.backends))}
+	healthyN, usableN := 0, 0
+	anyDegraded := false
+	for _, b := range rt.backends {
+		checked, healthy, status, warm, degraded := b.snapshotHealth()
+		bh := BackendHealth{
+			Name:     b.name,
+			Healthy:  healthy,
+			Status:   status,
+			Breaker:  breakerStateNames[b.breakerState()],
+			Warm:     warm,
+			Degraded: degraded,
+		}
+		if !checked {
+			bh.Status = "unknown"
+		}
+		fh.Backends = append(fh.Backends, bh)
+		if healthy && status != "draining" {
+			healthyN++
+		}
+		if b.available() {
+			usableN++
+		}
+		if status == "degraded" || len(degraded) > 0 {
+			anyDegraded = true
+		}
+	}
+
+	code := http.StatusOK
+	switch {
+	case rt.draining.Load():
+		fh.Status = "draining"
+		code = http.StatusServiceUnavailable
+	case usableN == 0:
+		fh.Status = "down"
+		code = http.StatusServiceUnavailable
+	case healthyN < len(rt.backends) || anyDegraded:
+		fh.Status = "degraded"
+	default:
+		fh.Status = "ok"
+	}
+
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(fh)
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	rt.writeMetrics(w)
+}

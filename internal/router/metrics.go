@@ -1,0 +1,204 @@
+package router
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// routerMetrics is the router tier's operational state, exposed on
+// /metrics in Prometheus text format with the same conventions as the
+// replica layer (psn_* names, lock-free obs.Histogram latency series):
+// dashboards scrape router and replicas identically and join on labels.
+type routerMetrics struct {
+	shed             atomic.Int64 // requests shed by router backpressure
+	failovers        atomic.Int64 // attempts past the first, fleet-wide
+	budgetExhausted  atomic.Int64 // failovers refused by the retry budget
+	noBackend        atomic.Int64 // requests with no dispatchable backend
+	upstreamErrors   atomic.Int64 // requests exhausted with transport errors (502)
+	deadlineExceeded atomic.Int64 // requests that ran out the router deadline
+	clientGone       atomic.Int64 // requests whose client disconnected mid-attempt
+
+	mu       sync.Mutex
+	requests map[string]*int64 // per-endpoint request counter
+	statuses map[int]*int64    // per-status-code response counter
+
+	// latency[endpoint] is populated during mux wiring, read-only after.
+	latency map[string]*obs.Histogram
+}
+
+func newRouterMetrics() *routerMetrics {
+	return &routerMetrics{
+		requests: make(map[string]*int64),
+		statuses: make(map[int]*int64),
+		latency:  make(map[string]*obs.Histogram),
+	}
+}
+
+// histFor returns (creating on first use) the latency histogram of an
+// endpoint. Only called during mux wiring — single-goroutine — so the
+// map needs no lock; requests hit the prebuilt histograms directly.
+func (m *routerMetrics) histFor(endpoint string) *obs.Histogram {
+	h, ok := m.latency[endpoint]
+	if !ok {
+		h = &obs.Histogram{}
+		m.latency[endpoint] = h
+	}
+	return h
+}
+
+func (m *routerMetrics) countRequest(endpoint string) {
+	m.mu.Lock()
+	c, ok := m.requests[endpoint]
+	if !ok {
+		c = new(int64)
+		m.requests[endpoint] = c
+	}
+	m.mu.Unlock()
+	atomic.AddInt64(c, 1)
+}
+
+func (m *routerMetrics) countStatus(code int) {
+	m.mu.Lock()
+	c, ok := m.statuses[code]
+	if !ok {
+		c = new(int64)
+		m.statuses[code] = c
+	}
+	m.mu.Unlock()
+	atomic.AddInt64(c, 1)
+}
+
+// write emits the Prometheus exposition: router-level counters, then
+// per-backend traffic/failure/breaker series labeled by backend name.
+func (rt *Router) writeMetrics(w io.Writer) {
+	m := rt.metrics
+
+	fmt.Fprintf(w, "# HELP psn_router_requests_total Requests received at the router, by endpoint.\n")
+	fmt.Fprintf(w, "# TYPE psn_router_requests_total counter\n")
+	m.mu.Lock()
+	endpoints := make([]string, 0, len(m.requests))
+	for e := range m.requests {
+		endpoints = append(endpoints, e)
+	}
+	sort.Strings(endpoints)
+	for _, e := range endpoints {
+		fmt.Fprintf(w, "psn_router_requests_total{endpoint=%q} %d\n", e, atomic.LoadInt64(m.requests[e]))
+	}
+	codes := make([]int, 0, len(m.statuses))
+	for c := range m.statuses {
+		codes = append(codes, c)
+	}
+	sort.Ints(codes)
+	statusVals := make([]int64, len(codes))
+	for i, c := range codes {
+		statusVals[i] = atomic.LoadInt64(m.statuses[c])
+	}
+	m.mu.Unlock()
+
+	fmt.Fprintf(w, "# HELP psn_router_responses_total Responses sent by the router, by HTTP status code.\n")
+	fmt.Fprintf(w, "# TYPE psn_router_responses_total counter\n")
+	for i, c := range codes {
+		fmt.Fprintf(w, "psn_router_responses_total{code=\"%d\"} %d\n", c, statusVals[i])
+	}
+
+	fmt.Fprintf(w, "# HELP psn_router_shed_total Requests shed by router backpressure, by reason.\n")
+	fmt.Fprintf(w, "# TYPE psn_router_shed_total counter\n")
+	fmt.Fprintf(w, "psn_router_shed_total{reason=\"capacity\"} %d\n", m.shed.Load())
+	fmt.Fprintf(w, "psn_router_shed_total{reason=\"no_backend\"} %d\n", m.noBackend.Load())
+	fmt.Fprintf(w, "psn_router_shed_total{reason=\"deadline\"} %d\n", m.deadlineExceeded.Load())
+
+	fmt.Fprintf(w, "# HELP psn_router_failovers_total Attempts dispatched past the first, fleet-wide.\n")
+	fmt.Fprintf(w, "# TYPE psn_router_failovers_total counter\n")
+	fmt.Fprintf(w, "psn_router_failovers_total %d\n", m.failovers.Load())
+
+	fmt.Fprintf(w, "# HELP psn_router_retry_budget_exhausted_total Failovers refused by the global retry budget.\n")
+	fmt.Fprintf(w, "# TYPE psn_router_retry_budget_exhausted_total counter\n")
+	fmt.Fprintf(w, "psn_router_retry_budget_exhausted_total %d\n", m.budgetExhausted.Load())
+
+	fmt.Fprintf(w, "# HELP psn_router_retries_spent_total Units consumed from the global retry budget.\n")
+	fmt.Fprintf(w, "# TYPE psn_router_retries_spent_total counter\n")
+	fmt.Fprintf(w, "psn_router_retries_spent_total %d\n", rt.retriesSpent.Load())
+
+	fmt.Fprintf(w, "# HELP psn_router_upstream_errors_total Requests that exhausted all attempts with transport errors.\n")
+	fmt.Fprintf(w, "# TYPE psn_router_upstream_errors_total counter\n")
+	fmt.Fprintf(w, "psn_router_upstream_errors_total %d\n", m.upstreamErrors.Load())
+
+	fmt.Fprintf(w, "# HELP psn_router_client_gone_total Requests abandoned because the client disconnected.\n")
+	fmt.Fprintf(w, "# TYPE psn_router_client_gone_total counter\n")
+	fmt.Fprintf(w, "psn_router_client_gone_total %d\n", m.clientGone.Load())
+
+	fmt.Fprintf(w, "# HELP psn_router_inflight_requests Proxied requests currently in flight.\n")
+	fmt.Fprintf(w, "# TYPE psn_router_inflight_requests gauge\n")
+	inflight := 0
+	if rt.sem != nil {
+		inflight = len(rt.sem)
+	}
+	fmt.Fprintf(w, "psn_router_inflight_requests %d\n", inflight)
+
+	// Per-backend series.
+	fmt.Fprintf(w, "# HELP psn_router_backend_requests_total Attempts dispatched to each backend.\n")
+	fmt.Fprintf(w, "# TYPE psn_router_backend_requests_total counter\n")
+	for _, b := range rt.backends {
+		fmt.Fprintf(w, "psn_router_backend_requests_total{backend=%q} %d\n", b.name, b.requests.Load())
+	}
+
+	fmt.Fprintf(w, "# HELP psn_router_backend_failures_total Failed attempts per backend, by reason.\n")
+	fmt.Fprintf(w, "# TYPE psn_router_backend_failures_total counter\n")
+	for _, b := range rt.backends {
+		for r, name := range failReasonNames {
+			fmt.Fprintf(w, "psn_router_backend_failures_total{backend=%q,reason=%q} %d\n",
+				b.name, name, b.failures[r].Load())
+		}
+	}
+
+	fmt.Fprintf(w, "# HELP psn_router_backend_ejected_total Dispatches refused by an open breaker, per backend.\n")
+	fmt.Fprintf(w, "# TYPE psn_router_backend_ejected_total counter\n")
+	for _, b := range rt.backends {
+		fmt.Fprintf(w, "psn_router_backend_ejected_total{backend=%q} %d\n", b.name, b.ejected.Load())
+	}
+
+	fmt.Fprintf(w, "# HELP psn_router_breaker_state Circuit breaker state per backend (0 closed, 1 open, 2 half-open).\n")
+	fmt.Fprintf(w, "# TYPE psn_router_breaker_state gauge\n")
+	for _, b := range rt.backends {
+		fmt.Fprintf(w, "psn_router_breaker_state{backend=%q} %d\n", b.name, b.breakerState())
+	}
+
+	fmt.Fprintf(w, "# HELP psn_router_breaker_transitions_total Breaker transitions into each state, per backend.\n")
+	fmt.Fprintf(w, "# TYPE psn_router_breaker_transitions_total counter\n")
+	for _, b := range rt.backends {
+		for s, name := range breakerStateNames {
+			fmt.Fprintf(w, "psn_router_breaker_transitions_total{backend=%q,state=%q} %d\n",
+				b.name, name, b.transitions[s].Load())
+		}
+	}
+
+	fmt.Fprintf(w, "# HELP psn_router_backend_healthy Last active health probe outcome per backend (1 healthy).\n")
+	fmt.Fprintf(w, "# TYPE psn_router_backend_healthy gauge\n")
+	for _, b := range rt.backends {
+		_, healthy, _, _, _ := b.snapshotHealth()
+		v := 0
+		if healthy {
+			v = 1
+		}
+		fmt.Fprintf(w, "psn_router_backend_healthy{backend=%q} %d\n", b.name, v)
+	}
+
+	fmt.Fprintf(w, "# HELP psn_router_request_duration_seconds Request latency at the router by endpoint (includes failover attempts).\n")
+	fmt.Fprintf(w, "# TYPE psn_router_request_duration_seconds histogram\n")
+	for _, e := range endpoints {
+		h, ok := m.latency[e]
+		if !ok {
+			continue
+		}
+		s := h.Snapshot()
+		if s.Count == 0 {
+			continue
+		}
+		s.WritePrometheus(w, "psn_router_request_duration_seconds", fmt.Sprintf("endpoint=%q", e))
+	}
+}

@@ -1,0 +1,684 @@
+// Package router is the fleet tier in front of psn-serve replicas: a
+// thin HTTP reverse proxy that shards experiment requests by dataset
+// over a rendezvous hash of the replica set, with a failover replica
+// per dataset (replication factor ≥ 2), active health checking on the
+// replicas' artifact-aware /healthz, per-backend circuit breakers fed
+// by passive request outcomes, a global retry budget, router-level
+// backpressure, and client-deadline propagation so replica-side
+// cooperative cancellation (engine.Cancel) fires instead of the router
+// abandoning sockets.
+//
+// Every endpoint the replicas serve is idempotent and deterministic —
+// the repository's determinism contract makes a served response
+// byte-identical to the direct library call — so failover is always
+// safe: a request that errored on the primary can be retried verbatim
+// on the secondary without visible difference to the client.
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	mathrand "math/rand/v2"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config parametrizes a Router.
+type Config struct {
+	// Backends lists the psn-serve replicas, as base URLs or host:port
+	// addresses. At least one is required; replication needs two.
+	Backends []string
+
+	// Replication is the number of replicas in each dataset's replica
+	// set (primary + failovers). Zero means 2; values beyond the
+	// backend count are clamped.
+	Replication int
+
+	// HealthInterval is the active health-check period. Zero means 1s;
+	// negative disables the background loop (CheckNow still probes on
+	// demand — the fleet tests drive health transitions explicitly).
+	HealthInterval time.Duration
+
+	// HealthTimeout bounds one health probe. Zero means 1s.
+	HealthTimeout time.Duration
+
+	// RequestTimeout bounds one proxied request end to end, across all
+	// attempts. The remaining budget is propagated downstream in the
+	// X-Psn-Deadline-Ms header so the replica's cooperative
+	// cancellation fires before the router gives up on the socket.
+	// Zero means 30s; negative disables the router-side deadline.
+	RequestTimeout time.Duration
+
+	// PerTryTimeout bounds a single attempt, so a wedged primary costs
+	// one try's worth of latency before failover instead of the whole
+	// request budget. Zero means 10s; negative disables.
+	PerTryTimeout time.Duration
+
+	// MaxAttempts caps dispatches per request: the first attempt plus
+	// at most MaxAttempts-1 failovers (each also consuming retry
+	// budget). Zero means 2 — primary plus one failover.
+	MaxAttempts int
+
+	// MaxInflight bounds concurrently proxied experiment requests;
+	// excess requests are shed with 503, Retry-After and an
+	// "X-Psn-Shed: router" marker so load reports can tell router
+	// backpressure from replica backpressure. Zero means
+	// 16×GOMAXPROCS; negative disables.
+	MaxInflight int
+
+	// RetryBudgetRatio caps fleet-wide retries as a fraction of
+	// completed requests (plus RetryBudgetBurst): when retries would
+	// exceed ratio·requests+burst, failover is skipped and the primary's
+	// failure is returned — a retry storm must not double a saturated
+	// fleet's load. Zero means 0.2; negative disables the budget.
+	RetryBudgetRatio float64
+
+	// RetryBudgetBurst is the budget's additive headroom, covering cold
+	// starts where few requests have completed. Zero means 10.
+	RetryBudgetBurst int
+
+	// Client optionally overrides the HTTP client used for proxied
+	// requests and health probes (tests inject one). Per-attempt
+	// deadlines ride the request context, so Client.Timeout stays 0.
+	Client *http.Client
+
+	// Logger receives backend state-change lines. Nil means
+	// slog.Default().
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.Replication == 0 {
+		c.Replication = 2
+	}
+	if c.Replication > len(c.Backends) {
+		c.Replication = len(c.Backends)
+	}
+	if c.HealthInterval == 0 {
+		c.HealthInterval = time.Second
+	}
+	if c.HealthTimeout == 0 {
+		c.HealthTimeout = time.Second
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.PerTryTimeout == 0 {
+		c.PerTryTimeout = 10 * time.Second
+	}
+	if c.MaxAttempts == 0 {
+		c.MaxAttempts = 2
+	}
+	if c.MaxInflight == 0 {
+		c.MaxInflight = 16 * runtime.GOMAXPROCS(0)
+	}
+	if c.RetryBudgetRatio == 0 {
+		c.RetryBudgetRatio = 0.2
+	}
+	if c.RetryBudgetBurst == 0 {
+		c.RetryBudgetBurst = 10
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{}
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+	return c
+}
+
+// Router fronts a fleet of psn-serve replicas. Create one with New,
+// mount it via Handler, and stop its health loop with Close.
+type Router struct {
+	cfg      Config
+	backends []*backend
+	metrics  *routerMetrics
+	mux      *http.ServeMux
+	sem      chan struct{} // in-flight bound; nil = unlimited
+
+	// Retry budget accounting: completed requests (denominator) and
+	// retries spent (numerator), cumulative.
+	doneReqs     atomic.Int64
+	retriesSpent atomic.Int64
+
+	// Request-ID scheme mirroring the serving layer: random per-router
+	// tag in the high bits, a counter below — IDs minted here are
+	// propagated downstream and trusted by the replicas.
+	idTag uint64
+	idSeq atomic.Uint64
+
+	draining atomic.Bool
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	loopDone chan struct{}
+
+	bufPool sync.Pool // response copy buffers
+}
+
+// New builds a Router and, when the health interval is positive,
+// starts its background health-check loop (stop it with Close).
+func New(cfg Config) (*Router, error) {
+	if len(cfg.Backends) == 0 {
+		return nil, errors.New("router: no backends configured")
+	}
+	cfg = cfg.withDefaults()
+	rt := &Router{
+		cfg:      cfg,
+		metrics:  newRouterMetrics(),
+		idTag:    mathrand.Uint64() << 32,
+		stop:     make(chan struct{}),
+		loopDone: make(chan struct{}),
+	}
+	seen := make(map[string]bool)
+	for _, addr := range cfg.Backends {
+		b := newBackend(addr)
+		if seen[b.name] {
+			return nil, fmt.Errorf("router: duplicate backend %s", b.name)
+		}
+		seen[b.name] = true
+		rt.backends = append(rt.backends, b)
+	}
+	if cfg.MaxInflight > 0 {
+		rt.sem = make(chan struct{}, cfg.MaxInflight)
+	}
+	rt.mux = http.NewServeMux()
+	rt.mux.HandleFunc("GET /healthz", rt.wrap("healthz", rt.handleHealthz))
+	rt.mux.HandleFunc("GET /metrics", rt.wrap("metrics", rt.handleMetrics))
+	rt.mux.HandleFunc("GET /datasets", rt.forward("datasets", false))
+	rt.mux.HandleFunc("GET /figures", rt.forward("figures", false))
+	rt.mux.HandleFunc("GET /figures/{id}/data", rt.forward("figure_data", false))
+	rt.mux.HandleFunc("POST /enumerate", rt.forward("enumerate", true))
+	rt.mux.HandleFunc("POST /simulate", rt.forward("simulate", true))
+	if cfg.HealthInterval > 0 {
+		go rt.healthLoop()
+	} else {
+		close(rt.loopDone)
+	}
+	return rt, nil
+}
+
+// Handler returns the router's HTTP handler.
+func (rt *Router) Handler() http.Handler { return rt.mux }
+
+// Close stops the background health loop. It does not close in-flight
+// proxied requests.
+func (rt *Router) Close() {
+	rt.stopOnce.Do(func() { close(rt.stop) })
+	<-rt.loopDone
+}
+
+// SetDraining flips the router's /healthz to 503 while its own process
+// shuts down, mirroring the replica drain contract.
+func (rt *Router) SetDraining(v bool) { rt.draining.Store(v) }
+
+// CheckNow runs one synchronous health sweep over every backend —
+// startup, tests and the fleet harness use it to observe transitions
+// without waiting out the health interval.
+func (rt *Router) CheckNow() {
+	var wg sync.WaitGroup
+	for _, b := range rt.backends {
+		wg.Add(1)
+		go func(b *backend) {
+			defer wg.Done()
+			b.checkHealth(rt.cfg.Client, rt.cfg.HealthTimeout)
+		}(b)
+	}
+	wg.Wait()
+}
+
+func (rt *Router) healthLoop() {
+	defer close(rt.loopDone)
+	t := time.NewTicker(rt.cfg.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-rt.stop:
+			return
+		case <-t.C:
+			rt.CheckNow()
+		}
+	}
+}
+
+// candidates orders the backends to try for one request: the dataset's
+// replica set (rendezvous order, re-ranked so available, non-degraded,
+// warm replicas come first), then — only as a last resort — the
+// remaining available backends, so a dataset whose whole replica set
+// is down still gets served by a cold replica rather than erroring.
+func (rt *Router) candidates(key string) []*backend {
+	order := rankBackends(rt.backends, key)
+	r := rt.cfg.Replication
+	out := make([]*backend, 0, len(order))
+	replicas := order[:r]
+	// Stable re-rank of the replica set by goodness: insertion sort
+	// keeps rendezvous order among equals (primary first).
+	out = append(out, rt.backends[replicas[0]])
+	for _, idx := range replicas[1:] {
+		b := rt.backends[idx]
+		g := b.goodness(key)
+		pos := len(out)
+		for pos > 0 && out[pos-1].goodness(key) < g {
+			pos--
+		}
+		out = append(out, nil)
+		copy(out[pos+1:], out[pos:])
+		out[pos] = b
+	}
+	for _, idx := range order[r:] {
+		if b := rt.backends[idx]; b.available() {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// allowRetry consumes one unit of the global retry budget, reporting
+// whether the failover may proceed: cumulative retries stay under
+// ratio·(completed requests) + burst.
+func (rt *Router) allowRetry() bool {
+	if rt.cfg.RetryBudgetRatio < 0 {
+		return true
+	}
+	spent := rt.retriesSpent.Load()
+	limit := rt.cfg.RetryBudgetRatio*float64(rt.doneReqs.Load()) + float64(rt.cfg.RetryBudgetBurst)
+	if float64(spent+1) > limit {
+		rt.metrics.budgetExhausted.Add(1)
+		return false
+	}
+	rt.retriesSpent.Add(1)
+	return true
+}
+
+// wrap is the router's own-endpoint envelope: request/status
+// accounting, latency histogram, request ID.
+func (rt *Router) wrap(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	hist := rt.metrics.histFor(endpoint)
+	return func(w http.ResponseWriter, r *http.Request) {
+		rt.metrics.countRequest(endpoint)
+		w.Header().Set("X-Psn-Request", rt.requestID(r))
+		cw := &statusWriter{ResponseWriter: w}
+		t0 := time.Now()
+		h(cw, r)
+		rt.metrics.countStatus(cw.status())
+		hist.Record(time.Since(t0))
+	}
+}
+
+// requestID reuses a valid inbound X-Psn-Request (a router fleet can be
+// layered) or mints a fresh one.
+func (rt *Router) requestID(r *http.Request) string {
+	if id := r.Header.Get("X-Psn-Request"); isRequestID(id) {
+		return id
+	}
+	return formatRequestID(rt.idTag | rt.idSeq.Add(1)&0xffffffff)
+}
+
+// isRequestID reports whether s is a well-formed request ID (16
+// lowercase hex digits) — the trust gate before an inbound ID is
+// propagated into logs and downstream headers.
+func isRequestID(s string) bool {
+	if len(s) != 16 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func formatRequestID(id uint64) string {
+	const digits = "0123456789abcdef"
+	var b [16]byte
+	for i := len(b) - 1; i >= 0; i-- {
+		b[i] = digits[id&0xf]
+		id >>= 4
+	}
+	return string(b[:])
+}
+
+// maxProxyBody mirrors the serving layer's request-body cap: bodies are
+// buffered once at the router (they must be replayable for failover),
+// so the cap bounds router memory the same way it bounds replica
+// memory.
+const maxProxyBody = 1 << 20
+
+// datasetOf extracts the dataset field from a JSON request body — the
+// shard key. A malformed body returns "", routing to the key-""
+// replica set, whose replica will answer 400 with the real parse error.
+func datasetOf(body []byte) string {
+	var probe struct {
+		Dataset string `json:"dataset"`
+	}
+	if err := json.Unmarshal(body, &probe); err != nil {
+		return ""
+	}
+	return probe.Dataset
+}
+
+// forward builds the proxy handler of one experiment endpoint.
+// withBody marks the POST endpoints whose JSON body carries the
+// dataset shard key; GET endpoints shard on the URL path, which keeps
+// figure-data and dataset listings cache-affine to one replica.
+func (rt *Router) forward(endpoint string, withBody bool) http.HandlerFunc {
+	hist := rt.metrics.histFor(endpoint)
+	return func(w http.ResponseWriter, r *http.Request) {
+		rt.metrics.countRequest(endpoint)
+		id := rt.requestID(r)
+		w.Header().Set("X-Psn-Request", id)
+		cw := &statusWriter{ResponseWriter: w}
+		t0 := time.Now()
+		defer func() {
+			rt.metrics.countStatus(cw.status())
+			hist.Record(time.Since(t0))
+		}()
+
+		if rt.sem != nil {
+			select {
+			case rt.sem <- struct{}{}:
+				defer func() { <-rt.sem }()
+			default:
+				rt.metrics.shed.Add(1)
+				rt.shed(cw, time.Second, fmt.Errorf("router at capacity (%d requests in flight)", cap(rt.sem)))
+				return
+			}
+		}
+
+		var body []byte
+		key := r.URL.Path
+		if withBody {
+			var err error
+			body, err = io.ReadAll(io.LimitReader(r.Body, maxProxyBody+1))
+			if err != nil {
+				writeJSONError(cw, http.StatusBadRequest, fmt.Errorf("read request body: %w", err))
+				return
+			}
+			if len(body) > maxProxyBody {
+				writeJSONError(cw, http.StatusRequestEntityTooLarge,
+					fmt.Errorf("request body exceeds %d bytes", int64(maxProxyBody)))
+				return
+			}
+			key = datasetOf(body)
+		}
+
+		rt.proxy(cw, r, endpoint, id, key, body)
+		rt.doneReqs.Add(1)
+	}
+}
+
+// proxy runs the attempt loop: dispatch to the best candidate, fail
+// over on connect error, per-try timeout or 5xx while the per-request
+// attempt cap and the global retry budget allow, and relay the first
+// definitive response. All endpoints are idempotent (the determinism
+// contract), so replaying the buffered body on a failover can never
+// produce a different answer — only rescue one.
+func (rt *Router) proxy(w http.ResponseWriter, r *http.Request, endpoint, id, key string, body []byte) {
+	deadline := rt.deadlineFor(r)
+	cands := rt.candidates(key)
+
+	var lastErr error
+	attempts := 0
+	for _, b := range cands {
+		if attempts >= rt.cfg.MaxAttempts {
+			break
+		}
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			break
+		}
+		if attempts > 0 && !rt.allowRetry() {
+			break
+		}
+		if !b.acquire() {
+			b.ejected.Add(1)
+			continue
+		}
+		attempts++
+		if attempts > 1 {
+			rt.metrics.failovers.Add(1)
+		}
+
+		resp, ctx, cancel, err := rt.dispatch(r, b, endpoint, id, body, deadline)
+		reason := classify(err, statusOrZero(resp), ctx)
+		b.requests.Add(1)
+		if reason < 0 {
+			b.successes.Add(1)
+			b.report(true)
+			rt.relay(w, resp, b, attempts)
+			cancel()
+			return
+		}
+		b.failures[reason].Add(1)
+		b.report(false)
+		if resp != nil {
+			// A definitive 5xx is still the best answer we have if no
+			// further candidate pans out: keep the last one to relay.
+			if attempts >= rt.cfg.MaxAttempts || !rt.moreCandidates(cands, b) {
+				rt.relay(w, resp, b, attempts)
+				cancel()
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			lastErr = fmt.Errorf("backend %s: status %d", b.name, resp.StatusCode)
+			cancel()
+			continue
+		}
+		cancel()
+		lastErr = fmt.Errorf("backend %s: %w", b.name, err)
+		// The client going away ends the request; retrying for a dead
+		// client spends budget for nothing.
+		if r.Context().Err() != nil {
+			rt.metrics.clientGone.Add(1)
+			writeJSONError(w, statusClientClosedRequest, fmt.Errorf("client closed request: %w", err))
+			return
+		}
+	}
+
+	switch {
+	case !deadline.IsZero() && !time.Now().Before(deadline):
+		rt.metrics.deadlineExceeded.Add(1)
+		rt.shed(w, time.Second, fmt.Errorf("request deadline exceeded at router (last error: %v)", lastErr))
+	case attempts == 0:
+		// Nothing admitted a dispatch: every replica down, draining or
+		// breaker-open. Hint the soonest breaker re-probe.
+		rt.metrics.noBackend.Add(1)
+		ra := time.Second
+		for _, b := range cands {
+			if h := b.retryAfterHint(); h > 0 && (h < ra || ra == time.Second) {
+				ra = h
+			}
+		}
+		rt.shed(w, ra, fmt.Errorf("no available backend for %q (%d configured)", key, len(rt.backends)))
+	default:
+		rt.metrics.upstreamErrors.Add(1)
+		writeJSONError(w, http.StatusBadGateway, fmt.Errorf("all attempts failed: %v", lastErr))
+	}
+}
+
+// moreCandidates reports whether any candidate after b could still be
+// dispatched (attempt cap and budget permitting checked by the caller).
+func (rt *Router) moreCandidates(cands []*backend, b *backend) bool {
+	for i, c := range cands {
+		if c == b {
+			return i+1 < len(cands)
+		}
+	}
+	return false
+}
+
+// deadlineFor resolves the request's end-to-end deadline: the router's
+// RequestTimeout, tightened by the client context's own deadline when
+// one is set. Zero means none.
+func (rt *Router) deadlineFor(r *http.Request) time.Time {
+	var d time.Time
+	if rt.cfg.RequestTimeout > 0 {
+		d = time.Now().Add(rt.cfg.RequestTimeout)
+	}
+	if cd, ok := r.Context().Deadline(); ok && (d.IsZero() || cd.Before(d)) {
+		d = cd
+	}
+	return d
+}
+
+// dispatch sends one attempt to b, bounded by the per-try timeout and
+// the remaining request deadline, with the remaining budget propagated
+// in X-Psn-Deadline-Ms so the replica's cooperative cancellation fires
+// first. It returns the per-attempt context (so the caller can tell a
+// per-try timeout from a connect failure) and its cancel func, which
+// the caller MUST invoke — after relaying the response body, not
+// before: canceling earlier would sever an in-flight body copy.
+func (rt *Router) dispatch(r *http.Request, b *backend, endpoint, id string, body []byte, deadline time.Time) (*http.Response, context.Context, context.CancelFunc, error) {
+	tryDeadline := deadline
+	if rt.cfg.PerTryTimeout > 0 {
+		td := time.Now().Add(rt.cfg.PerTryTimeout)
+		if tryDeadline.IsZero() || td.Before(tryDeadline) {
+			tryDeadline = td
+		}
+	}
+	ctx := r.Context()
+	cancel := context.CancelFunc(func() {})
+	if !tryDeadline.IsZero() {
+		ctx, cancel = context.WithDeadline(ctx, tryDeadline)
+	}
+	var rd io.Reader
+	if body != nil {
+		rd = newByteReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, r.Method, b.baseURL+r.URL.RequestURI(), rd)
+	if err != nil {
+		return nil, ctx, cancel, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+		req.ContentLength = int64(len(body))
+	}
+	req.Header.Set("X-Psn-Request", id)
+	if !deadline.IsZero() {
+		// Propagate 90% of the remaining budget: the replica's
+		// cooperative cancellation must fire (and its 503 travel back)
+		// before the router's own context abandons the socket, or the
+		// work is wasted and the client sees a worse error.
+		ms := time.Until(deadline).Milliseconds() * 9 / 10
+		if ms < 1 {
+			ms = 1
+		}
+		req.Header.Set("X-Psn-Deadline-Ms", strconv.FormatInt(ms, 10))
+	}
+	resp, err := rt.cfg.Client.Do(req)
+	return resp, ctx, cancel, err
+}
+
+// relay copies one backend response to the client: headers (the
+// request ID is already set and identical — the replica echoes the
+// propagated one), the serving backend and failover count, status,
+// body.
+func (rt *Router) relay(w http.ResponseWriter, resp *http.Response, b *backend, attempts int) {
+	defer resp.Body.Close()
+	h := w.Header()
+	for k, vs := range resp.Header {
+		if k == "X-Psn-Request" {
+			continue
+		}
+		h[k] = vs
+	}
+	h.Set("X-Psn-Backend", b.name)
+	if attempts > 1 {
+		h.Set("X-Psn-Failovers", strconv.Itoa(attempts-1))
+	}
+	w.WriteHeader(resp.StatusCode)
+	buf := rt.getBuf()
+	io.CopyBuffer(w, resp.Body, buf)
+	rt.bufPool.Put(buf) //nolint:staticcheck // *[]byte not worth it here
+}
+
+func (rt *Router) getBuf() []byte {
+	if b, ok := rt.bufPool.Get().([]byte); ok {
+		return b
+	}
+	return make([]byte, 32<<10)
+}
+
+// shed answers 503 with a Retry-After hint and the router shed marker
+// (X-Psn-Shed: router) so load reports can attribute the shed to the
+// router tier rather than a replica.
+func (rt *Router) shed(w http.ResponseWriter, retryAfter time.Duration, err error) {
+	secs := int64((retryAfter + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	w.Header().Set("X-Psn-Shed", "router")
+	writeJSONError(w, http.StatusServiceUnavailable, err)
+}
+
+// statusClientClosedRequest mirrors the serving layer's 499 convention.
+const statusClientClosedRequest = 499
+
+func statusOrZero(resp *http.Response) int {
+	if resp == nil {
+		return 0
+	}
+	return resp.StatusCode
+}
+
+func writeJSONError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(struct {
+		Error string `json:"error"`
+	}{Error: err.Error()})
+}
+
+// statusWriter records the written status code.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.code == 0 {
+		sw.code = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Unwrap() http.ResponseWriter { return sw.ResponseWriter }
+
+func (sw *statusWriter) status() int {
+	if sw.code == 0 {
+		return http.StatusOK
+	}
+	return sw.code
+}
+
+// byteReader is a replayable body reader: bytes.NewReader would do, but
+// a local type keeps the hot proxy path free of the bytes package's
+// interface checks in escape analysis. It intentionally implements
+// io.Reader only — http.NewRequest snapshots seekable bodies via
+// GetBody, which failover replaces by rebuilding the request instead.
+type byteReader struct {
+	b   []byte
+	off int
+}
+
+func newByteReader(b []byte) *byteReader { return &byteReader{b: b} }
+
+func (r *byteReader) Read(p []byte) (int, error) {
+	if r.off >= len(r.b) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.b[r.off:])
+	r.off += n
+	return n, nil
+}

@@ -1,0 +1,292 @@
+package router
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func namedBackends(names ...string) []*backend {
+	out := make([]*backend, len(names))
+	for i, n := range names {
+		out[i] = newBackend(n)
+	}
+	return out
+}
+
+// TestRendezvousDeterminism pins the sharding contract: the replica
+// set of a key is a pure function of (backend names, key) — two router
+// instances agree with no coordination — and removing one backend
+// remaps only the keys that ranked it highest.
+func TestRendezvousDeterminism(t *testing.T) {
+	backends := namedBackends("10.0.0.1:8081", "10.0.0.2:8081", "10.0.0.3:8081", "10.0.0.4:8081")
+	keys := []string{"dev", "infocom-3-6", "infocom-9-12", "conext-9-12", "city-2k", ""}
+
+	for _, key := range keys {
+		a := rankBackends(backends, key)
+		b := rankBackends(backends, key)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("key %q: rank order not deterministic", key)
+			}
+		}
+	}
+
+	// Distribution sanity: with several datasets, more than one backend
+	// must appear as a primary (the hash actually spreads).
+	primaries := map[int]bool{}
+	for _, key := range keys {
+		primaries[rankBackends(backends, key)[0]] = true
+	}
+	if len(primaries) < 2 {
+		t.Errorf("all %d keys mapped to one primary — hash not spreading", len(keys))
+	}
+
+	// Minimal-remap property: dropping one backend must not change the
+	// relative order of the survivors for any key.
+	for _, key := range keys {
+		before := rankBackends(backends, key)
+		after := rankBackends(backends[:3], key)
+		filtered := before[:0:0]
+		for _, idx := range before {
+			if idx < 3 {
+				filtered = append(filtered, idx)
+			}
+		}
+		for i := range after {
+			if after[i] != filtered[i] {
+				t.Fatalf("key %q: survivor order changed after removing one backend", key)
+			}
+		}
+	}
+}
+
+// TestBreakerStateMachine walks one backend's breaker through its full
+// cycle: closed under scattered failures, open at the consecutive
+// threshold, refusing while the window runs, half-open single probe
+// after it, closed again on probe success — and a wider re-open on
+// probe failure.
+func TestBreakerStateMachine(t *testing.T) {
+	b := newBackend("127.0.0.1:1")
+
+	// Scattered failures below the threshold never open.
+	for i := 0; i < defaultFailThreshold-1; i++ {
+		if !b.acquire() {
+			t.Fatal("closed breaker refused a request")
+		}
+		b.report(false)
+	}
+	b.report(true) // success resets the streak
+	for i := 0; i < defaultFailThreshold-1; i++ {
+		b.acquire()
+		b.report(false)
+	}
+	if b.breakerState() != breakerClosed {
+		t.Fatal("breaker opened below the consecutive-failure threshold")
+	}
+
+	// One more consecutive failure opens it.
+	b.acquire()
+	b.report(false)
+	if b.breakerState() != breakerOpen {
+		t.Fatalf("breaker state %s after %d consecutive failures",
+			breakerStateNames[b.breakerState()], defaultFailThreshold)
+	}
+	if b.acquire() {
+		t.Fatal("open breaker admitted a request inside its window")
+	}
+	if hint := b.retryAfterHint(); hint <= 0 || hint > breakerBase {
+		t.Fatalf("retryAfterHint %v outside (0, %v]", hint, breakerBase)
+	}
+
+	// Expire the window: the next acquire is the half-open probe, and
+	// concurrent acquires are refused while it is in flight.
+	b.mu.Lock()
+	b.openUntil = time.Now().Add(-time.Millisecond)
+	b.mu.Unlock()
+	if !b.acquire() {
+		t.Fatal("expired open window refused the half-open probe")
+	}
+	if b.breakerState() != breakerHalfOpen {
+		t.Fatal("breaker not half-open during the probe")
+	}
+	if b.acquire() {
+		t.Fatal("second request admitted while the probe is in flight")
+	}
+
+	// Probe failure re-opens with a wider window (openings=2 ⇒ base 2s,
+	// jitter keeps it above half of that).
+	b.report(false)
+	if b.breakerState() != breakerOpen {
+		t.Fatal("failed probe did not re-open the breaker")
+	}
+	if hint := b.retryAfterHint(); hint <= breakerBase/2 {
+		t.Fatalf("re-opened window %v not widened beyond %v", hint, breakerBase/2)
+	}
+
+	// Expire again; this time the probe succeeds and the breaker closes
+	// fully: streak and widening reset.
+	b.mu.Lock()
+	b.openUntil = time.Now().Add(-time.Millisecond)
+	b.mu.Unlock()
+	b.acquire()
+	b.report(true)
+	if b.breakerState() != breakerClosed {
+		t.Fatal("successful probe did not close the breaker")
+	}
+	if !b.acquire() {
+		t.Fatal("closed breaker refused a request after recovery")
+	}
+	b.report(true)
+	b.mu.Lock()
+	openings := b.openings
+	b.mu.Unlock()
+	if openings != 0 {
+		t.Fatalf("openings %d not reset by recovery", openings)
+	}
+}
+
+// TestRetryBudget pins the global budget arithmetic: burst retries are
+// allowed from a cold start, exhausting the burst refuses further
+// retries, and completed requests earn ratio-proportional headroom.
+func TestRetryBudget(t *testing.T) {
+	rt := &Router{cfg: Config{RetryBudgetRatio: 0.2, RetryBudgetBurst: 3}, metrics: newRouterMetrics()}
+
+	for i := 0; i < 3; i++ {
+		if !rt.allowRetry() {
+			t.Fatalf("burst retry %d refused", i)
+		}
+	}
+	if rt.allowRetry() {
+		t.Fatal("retry allowed past the exhausted burst with zero completed requests")
+	}
+	if rt.metrics.budgetExhausted.Load() != 1 {
+		t.Fatal("refused retry not counted in budgetExhausted")
+	}
+
+	// 10 completed requests at ratio 0.2 buy 2 more retries.
+	rt.doneReqs.Store(10)
+	for i := 0; i < 2; i++ {
+		if !rt.allowRetry() {
+			t.Fatalf("earned retry %d refused", i)
+		}
+	}
+	if rt.allowRetry() {
+		t.Fatal("retry allowed beyond ratio·requests+burst")
+	}
+
+	unlimited := &Router{cfg: Config{RetryBudgetRatio: -1}, metrics: newRouterMetrics()}
+	for i := 0; i < 100; i++ {
+		if !unlimited.allowRetry() {
+			t.Fatal("negative ratio must disable the budget")
+		}
+	}
+}
+
+func TestRequestIDValidation(t *testing.T) {
+	if !isRequestID("0123456789abcdef") {
+		t.Error("valid ID rejected")
+	}
+	for _, bad := range []string{"", "0123456789ABCDEF", "0123456789abcde", "0123456789abcdeff", "0123456789abcdeg"} {
+		if isRequestID(bad) {
+			t.Errorf("invalid ID %q accepted", bad)
+		}
+	}
+	id := formatRequestID(0xdeadbeef12345678)
+	if id != "deadbeef12345678" || !isRequestID(id) {
+		t.Errorf("formatRequestID = %q", id)
+	}
+}
+
+// TestCandidateOrdering verifies goodness-based re-ranking: a draining
+// or breaker-open primary yields to its replica, and when the whole
+// replica set is out, a backend outside it serves as last resort.
+func TestCandidateOrdering(t *testing.T) {
+	rt := &Router{cfg: Config{Replication: 2}}
+	rt.backends = namedBackends("127.0.0.1:1", "127.0.0.1:2", "127.0.0.1:3")
+
+	key := "dev"
+	order := rankBackends(rt.backends, key)
+	primary, secondary := rt.backends[order[0]], rt.backends[order[1]]
+
+	cands := rt.candidates(key)
+	if cands[0] != primary {
+		t.Fatal("healthy fleet: primary not first")
+	}
+	if len(cands) != 3 {
+		t.Fatalf("want all 3 backends as candidates, got %d", len(cands))
+	}
+
+	// Draining primary yields to the secondary.
+	primary.setHealth(true, "draining", nil, nil)
+	cands = rt.candidates(key)
+	if cands[0] != secondary {
+		t.Fatal("draining primary still ranked first")
+	}
+
+	// Whole replica set unavailable: the off-set backend still appears.
+	secondary.setHealth(false, "down", nil, nil)
+	cands = rt.candidates(key)
+	last := rt.backends[order[2]]
+	found := false
+	for _, c := range cands {
+		if c == last {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("off-replica-set backend dropped while the replica set is down")
+	}
+
+	// Warm replica beats cold at equal health.
+	primary.setHealth(true, "ok", nil, nil)
+	secondary.setHealth(true, "ok", map[string]bool{key: true}, nil)
+	cands = rt.candidates(key)
+	if cands[0] != secondary {
+		t.Fatal("warm secondary not preferred over cold primary")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Error("New with no backends must fail")
+	}
+	if _, err := New(Config{Backends: []string{"127.0.0.1:1", "http://127.0.0.1:1"}}); err == nil {
+		t.Error("duplicate backends must fail")
+	}
+	rt, err := New(Config{Backends: []string{"127.0.0.1:1"}, Replication: 5, HealthInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	if rt.cfg.Replication != 1 {
+		t.Errorf("replication not clamped to backend count: %d", rt.cfg.Replication)
+	}
+}
+
+func TestDatasetOf(t *testing.T) {
+	for _, tc := range []struct{ body, want string }{
+		{`{"dataset":"dev","src":0}`, "dev"},
+		{`{"dataset":"infocom-3-6"}`, "infocom-3-6"},
+		{`{"src":0}`, ""},
+		{`not json`, ""},
+	} {
+		if got := datasetOf([]byte(tc.body)); got != tc.want {
+			t.Errorf("datasetOf(%s) = %q, want %q", tc.body, got, tc.want)
+		}
+	}
+}
+
+func ExampleConfig() {
+	rt, err := New(Config{
+		Backends:       []string{"127.0.0.1:8081", "127.0.0.1:8082"},
+		HealthInterval: -1, // drive probes explicitly with CheckNow
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	defer rt.Close()
+	fmt.Println(len(rt.backends), "backends, replication", rt.cfg.Replication)
+	// Output: 2 backends, replication 2
+}

@@ -1,0 +1,41 @@
+package router
+
+import (
+	"hash/fnv"
+	"sort"
+)
+
+// rendezvousScore is the highest-random-weight (rendezvous) hash of one
+// (backend, key) pair: every router instance computes the same score
+// from the same inputs, so a fleet of routers agrees on each dataset's
+// replica set with no coordination, and adding or removing one backend
+// remaps only the keys that scored it highest — the consistent-hashing
+// property, without ring-maintenance state.
+func rendezvousScore(backend, key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(backend))
+	h.Write([]byte{0xff}) // separator: ("ab","c") must not collide with ("a","bc")
+	h.Write([]byte(key))
+	return h.Sum64()
+}
+
+// rankBackends returns backend indices ordered by descending rendezvous
+// score for key, ties broken by backend name so the order is total and
+// deterministic. The first Replication entries are the key's replica
+// set: index 0 the primary, the rest failover replicas.
+func rankBackends(backends []*backend, key string) []int {
+	order := make([]int, len(backends))
+	scores := make([]uint64, len(backends))
+	for i, b := range backends {
+		order[i] = i
+		scores[i] = rendezvousScore(b.name, key)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ia, ib := order[a], order[b]
+		if scores[ia] != scores[ib] {
+			return scores[ia] > scores[ib]
+		}
+		return backends[ia].name < backends[ib].name
+	})
+	return order
+}
